@@ -1,0 +1,263 @@
+package cogrid
+
+// One benchmark per table and figure in the paper's evaluation, plus
+// micro-benchmarks of the substrate. The "sim_*" metrics report virtual
+// (simulated) time — the quantities the paper's figures plot — while the
+// standard ns/op measures the real cost of running the simulation.
+
+import (
+	"testing"
+	"time"
+
+	"cogrid/internal/experiments"
+	"cogrid/internal/rsl"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// BenchmarkFigure2GRAMSubmission regenerates Figure 2: GRAM submission
+// latency across process counts, reporting the (flat) simulated latency.
+func BenchmarkFigure2GRAMSubmission(b *testing.B) {
+	var res experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Figure2([]int{16, 32, 64})
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Latency.Seconds(), "sim_s/"+itoa(row.Processes)+"proc")
+	}
+}
+
+// BenchmarkFigure3GRAMBreakdown regenerates Figure 3: the per-phase
+// breakdown of a single-process GRAM request.
+func BenchmarkFigure3GRAMBreakdown(b *testing.B) {
+	var res experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Figure3()
+	}
+	for _, phase := range []string{"initgroups", "authentication", "misc", "fork"} {
+		b.ReportMetric(res.Phases[phase].Seconds(), "sim_s/"+phase)
+	}
+}
+
+// BenchmarkFigure4DUROCSubjobs regenerates Figure 4: DUROC submission time
+// versus subjob count at 64 processes, reporting the endpoints, the fitted
+// pipeline step k, and the barrier-wait ratio.
+func BenchmarkFigure4DUROCSubjobs(b *testing.B) {
+	var res experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Figure4(64, []int{1, 5, 10, 15, 20, 25})
+	}
+	b.ReportMetric(res.Rows[0].Measured.Seconds(), "sim_s/1subjob")
+	b.ReportMetric(res.Rows[len(res.Rows)-1].Measured.Seconds(), "sim_s/25subjobs")
+	b.ReportMetric(res.K.Seconds(), "sim_s/k")
+	b.ReportMetric(res.PipelineSaving*100, "pipeline_saving_%")
+	b.ReportMetric(res.MeanWaitRatio, "barrier_wait_ratio")
+}
+
+// BenchmarkFigure4ProcessFlat regenerates the companion finding: DUROC
+// time is insensitive to the process count at fixed subjobs.
+func BenchmarkFigure4ProcessFlat(b *testing.B) {
+	var rows []experiments.Figure4FlatRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure4Flat(4, []int{16, 64})
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Measured.Seconds(), "sim_s/"+itoa(row.Processes)+"proc")
+	}
+}
+
+// BenchmarkFigure5Timeline regenerates Figure 5: the phase timeline of a
+// pipelined DUROC submission.
+func BenchmarkFigure5Timeline(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Figure5(4, 16)
+	}
+	if len(out) == 0 {
+		b.Fatal("empty timeline")
+	}
+}
+
+// BenchmarkAppAtomicVsInteractive regenerates study A1: time to a running
+// ensemble under GRAB-style atomic restarts versus DUROC substitution at
+// 20% per-machine failure probability and 15-minute startups.
+func BenchmarkAppAtomicVsInteractive(b *testing.B) {
+	var res experiments.AtomicVsInteractiveResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.AtomicVsInteractive(5, 15*time.Minute, []float64{0.2}, 3, 1)
+	}
+	row := res.Rows[0]
+	b.ReportMetric(row.AtomicTime.Seconds(), "sim_s/atomic")
+	b.ReportMetric(row.InteractiveTime.Seconds(), "sim_s/interactive")
+	b.ReportMetric(row.AtomicSlowdown, "atomic_slowdown_x")
+}
+
+// BenchmarkAppBigRun regenerates study A2: the 1386-processor, 13-machine,
+// 9-site start with failures configured around.
+func BenchmarkAppBigRun(b *testing.B) {
+	var res experiments.BigRunResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.BigRun(5)
+	}
+	b.ReportMetric(res.StartTime.Seconds(), "sim_s/start")
+	b.ReportMetric(float64(res.CommittedPE), "committed_pe")
+}
+
+// BenchmarkAblationOverProvision regenerates study S1: over-provisioning
+// factor 2 with oracle forecasts versus exact requests.
+func BenchmarkAblationOverProvision(b *testing.B) {
+	var res experiments.OverProvisionResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.OverProvisionSweep(2, 6, []float64{1, 2}, []float64{0}, 3, 21)
+	}
+	b.ReportMetric(res.Rows[0].MeanCommit.Seconds(), "sim_s/exact")
+	b.ReportMetric(res.Rows[1].MeanCommit.Seconds(), "sim_s/overprovision")
+}
+
+// BenchmarkReservation regenerates study R1: co-reservation negotiation
+// and simultaneous start.
+func BenchmarkReservation(b *testing.B) {
+	var res experiments.CoReservationResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.CoReservationStudy(3)
+	}
+	b.ReportMetric(res.NegotiatedStart.Seconds(), "sim_s/start")
+	b.ReportMetric(res.Spread.Seconds(), "sim_s/spread")
+}
+
+// BenchmarkLoadCrossover regenerates study R2: best-effort co-allocation
+// versus co-reservation at 70% background utilization.
+func BenchmarkLoadCrossover(b *testing.B) {
+	var res experiments.LoadResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.BestEffortVsReservation(3, []float64{0.7}, 3, 9)
+	}
+	b.ReportMetric(res.Rows[0].BestEffort.Seconds(), "sim_s/best_effort")
+	b.ReportMetric(res.Rows[0].Reserved.Seconds(), "sim_s/reserved")
+}
+
+// BenchmarkStalenessSweep regenerates study S2: co-allocation time using
+// fresh versus hour-old published load information.
+func BenchmarkStalenessSweep(b *testing.B) {
+	var res experiments.StalenessResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.StalenessSweep(3, 10, []time.Duration{0, time.Hour}, 4, 17)
+	}
+	b.ReportMetric(res.Rows[0].MeanCommit.Seconds(), "sim_s/fresh")
+	b.ReportMetric(res.Rows[1].MeanCommit.Seconds(), "sim_s/1h_stale")
+}
+
+// BenchmarkAblationSubmission compares the paper's sequential submission
+// pipeline with parallel submission at 25 subjobs — the design-choice
+// ablation DESIGN.md calls out.
+func BenchmarkAblationSubmission(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.SubmissionAblation(64, []int{25})
+	}
+	b.ReportMetric(rows[0].Sequential.Seconds(), "sim_s/sequential")
+	b.ReportMetric(rows[0].Parallel.Seconds(), "sim_s/parallel")
+	b.ReportMetric(rows[0].Speedup, "speedup_x")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkRSLParseFigure1 measures parsing the paper's Figure 1 request.
+func BenchmarkRSLParseFigure1(b *testing.B) {
+	src := `+(&(resourceManagerContact=RM1)(count=1)(executable=master)(subjobStartType=required))` +
+		`(&(resourceManagerContact=RM2)(count=4)(executable=worker)(subjobStartType=interactive))` +
+		`(&(resourceManagerContact=RM3)(count=4)(executable=worker)(subjobStartType=interactive))`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsl.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelPingPong measures the virtual-time kernel's context
+// switch: two processes rendezvous N times over an unbuffered channel.
+func BenchmarkKernelPingPong(b *testing.B) {
+	b.ReportAllocs()
+	sim := vtime.New()
+	ping := vtime.NewChan[int](sim, "ping", 0)
+	pong := vtime.NewChan[int](sim, "pong", 0)
+	n := b.N
+	sim.GoDaemon("echo", func() {
+		for {
+			v, ok := ping.Recv()
+			if !ok {
+				return
+			}
+			pong.Send(v)
+		}
+	})
+	sim.Go("driver", func() {
+		for i := 0; i < n; i++ {
+			ping.Send(i)
+			pong.Recv()
+		}
+	})
+	if err := sim.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTransportRoundTrip measures one message round trip through the
+// simulated network, including delivery daemons and latency timers.
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	sim := vtime.New()
+	net := transport.New(sim, transport.UniformLatency(time.Millisecond))
+	a, s := net.AddHost("a"), net.AddHost("b")
+	l, err := s.Listen("echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.GoDaemon("server", func() {
+		conn, ok := l.Accept()
+		if !ok {
+			return
+		}
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if conn.Send(msg) != nil {
+				return
+			}
+		}
+	})
+	n := b.N
+	sim.Go("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "echo"})
+		if err != nil {
+			panic(err)
+		}
+		defer conn.Close()
+		for i := 0; i < n; i++ {
+			if err := conn.Send([]byte("x")); err != nil {
+				panic(err)
+			}
+			if _, err := conn.Recv(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := sim.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

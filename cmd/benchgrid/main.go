@@ -1,0 +1,252 @@
+// Benchgrid regenerates every table and figure from the paper's
+// evaluation on the simulated grid and prints them as text.
+//
+// Usage:
+//
+//	benchgrid [-fig 2|3|4|5|all]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|ablation|all]
+//	          [-seed N] [-trials N] [-json]
+//
+// With no flags everything runs. Timings are virtual (simulated) seconds;
+// see EXPERIMENTS.md for the paper-versus-measured comparison. With -json
+// the selected results are emitted as one JSON document (durations in
+// nanoseconds) for plotting pipelines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cogrid/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, ablation, all, or none")
+	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
+	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
+	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
+	flag.Parse()
+
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, *fig, *app, *seed, *trials); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgrid:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	ran := false
+	switch *fig {
+	case "2":
+		figure2()
+	case "3":
+		figure3()
+	case "4":
+		figure4()
+	case "5":
+		figure5()
+	case "all":
+		figure2()
+		figure3()
+		figure4()
+		figure5()
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "benchgrid: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	ran = *fig != "none"
+
+	switch *app {
+	case "atomic":
+		atomicStudy(*seed, *trials)
+	case "bigrun":
+		bigRun(*seed)
+	case "overprov":
+		overProvision(*seed, *trials)
+	case "staleness":
+		staleness(*seed, *trials)
+	case "reserve":
+		reserve(*seed)
+	case "load":
+		loadStudy(*seed, *trials)
+	case "ablation":
+		ablation()
+	case "all":
+		atomicStudy(*seed, *trials)
+		bigRun(*seed)
+		overProvision(*seed, *trials)
+		staleness(*seed, *trials)
+		reserve(*seed)
+		loadStudy(*seed, *trials)
+		ablation()
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "benchgrid: unknown study %q\n", *app)
+		os.Exit(2)
+	}
+	if !ran && *app == "none" {
+		fmt.Fprintln(os.Stderr, "benchgrid: nothing to do")
+		os.Exit(2)
+	}
+}
+
+// emitJSON runs the selected experiments and marshals their structured
+// results as one JSON object keyed by experiment id.
+func emitJSON(w io.Writer, fig, app string, seed int64, trials int) error {
+	out := make(map[string]any)
+	figOn := func(want string) bool { return fig == "all" || fig == want }
+	appOn := func(want string) bool { return app == "all" || app == want }
+	if figOn("2") {
+		out["figure2"] = experiments.Figure2([]int{1, 8, 16, 32, 64})
+	}
+	if figOn("3") {
+		out["figure3"] = experiments.Figure3()
+	}
+	if figOn("4") {
+		out["figure4"] = experiments.Figure4(64, []int{1, 2, 4, 8, 12, 16, 20, 25})
+		out["figure4_flat"] = experiments.Figure4Flat(4, []int{8, 16, 32, 64})
+	}
+	if figOn("5") {
+		out["figure5_timeline"] = experiments.Figure5(4, 16)
+	}
+	if appOn("atomic") {
+		out["a1_atomic_vs_interactive"] = experiments.AtomicVsInteractive(
+			5, 15*time.Minute, []float64{0, 0.1, 0.2, 0.3}, trials, seed)
+	}
+	if appOn("bigrun") {
+		out["a2_bigrun"] = experiments.BigRun(seed)
+	}
+	if appOn("overprov") {
+		out["s1_overprovision"] = experiments.OverProvisionSweep(3, 9,
+			[]float64{1, 1.33, 2, 3}, []float64{0, 1, 8}, trials, seed)
+	}
+	if appOn("staleness") {
+		out["s2_staleness"] = experiments.StalenessSweep(3, 10,
+			[]time.Duration{0, 15 * time.Minute, time.Hour, 2 * time.Hour}, trials, seed)
+	}
+	if appOn("reserve") {
+		out["r1_coreservation"] = experiments.CoReservationStudy(seed)
+	}
+	if appOn("load") {
+		out["r2_load_crossover"] = experiments.BestEffortVsReservation(3,
+			[]float64{0.3, 0.5, 0.7, 0.85}, trials, seed)
+	}
+	if appOn("ablation") {
+		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
+		out["wide_area"] = experiments.WideAreaStudy(8, 64, []time.Duration{
+			time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond,
+		})
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("nothing selected (fig=%q, app=%q)", fig, app)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println("==============================================================")
+	fmt.Println(title)
+	fmt.Println("==============================================================")
+}
+
+func figure2() {
+	section("Figure 2 — GRAM submission latency vs process count")
+	res := experiments.Figure2([]int{1, 8, 16, 32, 64})
+	fmt.Print(res.Table())
+	fmt.Println("(paper: latency is largely insensitive to the number of processes)")
+}
+
+func figure3() {
+	section("Figure 3 — breakdown of a single-process GRAM request")
+	res := experiments.Figure3()
+	fmt.Print(res.Table())
+	fmt.Println("(paper: initgroups 0.7s, authentication 0.5s, misc 0.01s, fork 0.001s)")
+}
+
+func figure4() {
+	section("Figure 4 — DUROC submission time vs subjob count (64 processes)")
+	res := experiments.Figure4(64, []int{1, 2, 4, 8, 12, 16, 20, 25})
+	fmt.Print(res.Table())
+	fmt.Println()
+	fmt.Print(res.Summary())
+	fmt.Println()
+	fmt.Println("Companion: DUROC time vs process count at 4 subjobs (paper: flat)")
+	for _, row := range experiments.Figure4Flat(4, []int{8, 16, 32, 64}) {
+		fmt.Printf("  %3d processes: %.3fs\n", row.Processes, row.Measured.Seconds())
+	}
+}
+
+func figure5() {
+	section("Figure 5 — timeline of a DUROC submission (4 subjobs, 16 processes)")
+	fmt.Print(experiments.Figure5(4, 16))
+}
+
+func atomicStudy(seed int64, trials int) {
+	section("A1 — atomic (GRAB) restarts vs interactive (DUROC) transactions")
+	res := experiments.AtomicVsInteractive(5, 15*time.Minute, []float64{0, 0.1, 0.2, 0.3}, trials, seed)
+	fmt.Print(res.Table())
+	fmt.Println("(paper: restarts of 15-minute startups made atomic transactions untenable)")
+}
+
+func bigRun(seed int64) {
+	section("A2 — 1386 processors, 13 machines, 9 sites, with failures")
+	res := experiments.BigRun(seed)
+	fmt.Print(res.Table())
+	fmt.Println("\nfailures configured around:")
+	for _, line := range res.Narrative {
+		fmt.Println("  " + line)
+	}
+}
+
+func overProvision(seed int64, trials int) {
+	section("S1 — over-provisioning and forecast quality")
+	res := experiments.OverProvisionSweep(3, 9,
+		[]float64{1, 1.33, 2, 3}, []float64{0, 1, 8}, trials, seed)
+	fmt.Print(res.Table())
+	fmt.Println("(Section 2.2: forecasts and over-provisioning improve co-allocation)")
+}
+
+func staleness(seed int64, trials int) {
+	section("S2 — co-allocation time vs load-information age")
+	res := experiments.StalenessSweep(3, 10,
+		[]time.Duration{0, 15 * time.Minute, time.Hour, 2 * time.Hour}, trials, seed)
+	fmt.Print(res.Table())
+	fmt.Println("([14]: load information helps only while it remains valid)")
+}
+
+func reserve(seed int64) {
+	section("R1 — co-reservation (Section 5 future work)")
+	res := experiments.CoReservationStudy(seed)
+	fmt.Print(res.Table())
+}
+
+func loadStudy(seed int64, trials int) {
+	section("R2 — best-effort co-allocation vs co-reservation under load")
+	res := experiments.BestEffortVsReservation(3, []float64{0.3, 0.5, 0.7, 0.85}, trials, seed)
+	fmt.Print(res.Table())
+	fmt.Println("(Section 5: ensuring a co-allocation request succeeds ultimately")
+	fmt.Println(" requires advance reservation; the crossover falls at moderate load)")
+}
+
+func ablation() {
+	section("Ablation — sequential vs parallel subjob submission")
+	rows := experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
+	fmt.Print(experiments.AblationTable(rows))
+	fmt.Println("(the paper's DUROC submitted sequentially — Figure 5 — leaving")
+	fmt.Println(" pipelining as the only overlap; parallel submission is flat)")
+	fmt.Println()
+	wide := experiments.WideAreaStudy(8, 64, []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond,
+	})
+	fmt.Print(experiments.WideAreaTable(wide))
+	fmt.Println("(Section 4.2: wide-area barrier costs are negligible next to startup delays)")
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestEmitJSONFigure3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, "3", "none", 1, 1); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	raw, ok := out["figure3"]
+	if !ok {
+		t.Fatalf("missing figure3 key: %v", out)
+	}
+	var fig struct {
+		Phases map[string]int64 `json:"Phases"`
+	}
+	if err := json.Unmarshal(raw, &fig); err != nil {
+		t.Fatalf("figure3 shape: %v", err)
+	}
+	if fig.Phases["initgroups"] != 700_000_000 {
+		t.Errorf("initgroups = %d ns, want 0.7s", fig.Phases["initgroups"])
+	}
+}
+
+func TestEmitJSONNothingSelected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, "none", "none", 1, 1); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestEmitJSONAblationOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, "none", "ablation", 1, 1); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	for _, key := range []string{"ab1_submission_ablation", "wide_area"} {
+		if _, ok := out[key]; !ok {
+			t.Errorf("missing %s", key)
+		}
+	}
+}

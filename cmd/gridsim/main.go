@@ -1,0 +1,271 @@
+// Gridsim runs a co-allocation scenario from a JSON specification: it
+// builds the described grid, applies the fault schedule, submits the RSL
+// co-allocation request under the chosen strategy, and reports every
+// event and the final outcome.
+//
+// Usage:
+//
+//	gridsim [-f scenario.json] [-demo]
+//
+// With -demo (or no flags) a built-in scenario runs: five machines, one
+// crashing mid-startup and one slow, handled by substitution from a spare
+// pool. The scenario file format:
+//
+//	{
+//	  "seed": 1,
+//	  "machines": [{"name": "m1", "processors": 64, "mode": "fork"}],
+//	  "request": "+(&(resourceManagerContact=m1:gram)(count=8)(executable=app)(subjobStartType=required))",
+//	  "strategy": "interactive",            // or "atomic"
+//	  "pool": ["spare:gram"],               // substitution pool
+//	  "drop_unreplaceable": true,
+//	  "work_seconds": 60,                   // app run time after release
+//	  "faults": [{"at_seconds": 10, "kind": "host-crash", "target": "m2"}]
+//	}
+//
+// Fault kinds: host-crash, host-hang, host-restore, machine-slow (with
+// "factor"), machine-down, machine-up, partition/heal (with "target2"),
+// revoke-user, reinstate-user.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/core"
+	"cogrid/internal/failure"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/transport"
+)
+
+// Scenario is the JSON file format.
+type Scenario struct {
+	Seed              int64         `json:"seed"`
+	Machines          []MachineSpec `json:"machines"`
+	Request           string        `json:"request"`
+	Strategy          string        `json:"strategy"`
+	Pool              []string      `json:"pool"`
+	DropUnreplaceable bool          `json:"drop_unreplaceable"`
+	WorkSeconds       int           `json:"work_seconds"`
+	Faults            []FaultSpec   `json:"faults"`
+	TimeoutSeconds    int           `json:"timeout_seconds"`
+	// Timeline renders the Figure 5-style submission timeline and the
+	// co-allocation event history after the run.
+	Timeline bool `json:"timeline"`
+}
+
+// MachineSpec describes one machine.
+type MachineSpec struct {
+	Name       string `json:"name"`
+	Processors int    `json:"processors"`
+	Mode       string `json:"mode"`
+}
+
+// FaultSpec describes one scheduled fault.
+type FaultSpec struct {
+	AtSeconds float64 `json:"at_seconds"`
+	Kind      string  `json:"kind"`
+	Target    string  `json:"target"`
+	Target2   string  `json:"target2"`
+	Factor    float64 `json:"factor"`
+}
+
+var faultKinds = map[string]failure.Kind{
+	"host-crash":     failure.HostCrash,
+	"host-hang":      failure.HostHang,
+	"host-restore":   failure.HostRestore,
+	"machine-slow":   failure.MachineSlow,
+	"machine-down":   failure.MachineDown,
+	"machine-up":     failure.MachineUp,
+	"partition":      failure.Partition,
+	"heal":           failure.Heal,
+	"revoke-user":    failure.RevokeUser,
+	"reinstate-user": failure.ReinstateUser,
+}
+
+func main() {
+	file := flag.String("f", "", "scenario file (JSON)")
+	demo := flag.Bool("demo", false, "run the built-in demo scenario")
+	timeline := flag.Bool("timeline", false, "render the submission timeline and event history")
+	flag.Parse()
+
+	var sc Scenario
+	switch {
+	case *file != "":
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			fatal(fmt.Errorf("%s: %v", *file, err))
+		}
+	default:
+		_ = demo
+		sc = demoScenario()
+		fmt.Println("gridsim: running the built-in demo scenario (see -f for custom ones)")
+	}
+	sc.Timeline = sc.Timeline || *timeline
+	if err := run(sc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridsim:", err)
+	os.Exit(1)
+}
+
+func demoScenario() Scenario {
+	return Scenario{
+		Seed: 7,
+		Machines: []MachineSpec{
+			{Name: "anl-sp2", Processors: 128, Mode: "fork"},
+			{Name: "caltech-hp", Processors: 256, Mode: "fork"},
+			{Name: "ncsa-o2k", Processors: 128, Mode: "fork"},
+			{Name: "sdsc-sp2", Processors: 128, Mode: "fork"},
+			{Name: "spare-a", Processors: 256, Mode: "fork"},
+		},
+		Request: `+(&(resourceManagerContact=anl-sp2:gram)(count=64)(executable=app)(subjobStartType=required)(label=coordinator))
+  (&(resourceManagerContact=caltech-hp:gram)(count=128)(executable=app)(subjobStartType=interactive)(label=caltech))
+  (&(resourceManagerContact=ncsa-o2k:gram)(count=64)(executable=app)(subjobStartType=interactive)(label=ncsa))
+  (&(resourceManagerContact=sdsc-sp2:gram)(count=64)(executable=app)(subjobStartType=interactive)(label=sdsc))`,
+		Strategy:          "interactive",
+		Pool:              []string{"spare-a:gram"},
+		DropUnreplaceable: true,
+		WorkSeconds:       30,
+		Faults: []FaultSpec{
+			{AtSeconds: 3, Kind: "host-crash", Target: "ncsa-o2k"},
+			{AtSeconds: 0, Kind: "machine-slow", Target: "sdsc-sp2", Factor: 100},
+		},
+	}
+}
+
+func run(sc Scenario) error {
+	g := grid.New(grid.Options{Seed: sc.Seed, RecordTimeline: sc.Timeline})
+	for _, m := range sc.Machines {
+		mode := lrm.Fork
+		if m.Mode == "batch" {
+			mode = lrm.Batch
+		}
+		g.AddMachine(m.Name, m.Processors, mode)
+	}
+	work := time.Duration(sc.WorkSeconds) * time.Second
+	g.RegisterEverywhere("app", func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 0); err != nil {
+			return nil
+		}
+		if work > 0 {
+			return p.Work(work, time.Second)
+		}
+		return nil
+	})
+
+	var plan failure.Plan
+	for _, f := range sc.Faults {
+		kind, ok := faultKinds[f.Kind]
+		if !ok {
+			return fmt.Errorf("unknown fault kind %q", f.Kind)
+		}
+		plan = append(plan, failure.Action{
+			At:      time.Duration(f.AtSeconds * float64(time.Second)),
+			Kind:    kind,
+			Target:  f.Target,
+			Target2: f.Target2,
+			Factor:  f.Factor,
+		})
+	}
+	plan.Apply(g)
+	for _, a := range plan.Sorted() {
+		fmt.Println("fault scheduled:", a)
+	}
+
+	req, err := core.ParseRequest(sc.Request)
+	if err != nil {
+		return fmt.Errorf("request: %v", err)
+	}
+	for i := range req.Subjobs {
+		if req.Subjobs[i].StartupTimeout == 0 {
+			req.Subjobs[i].StartupTimeout = 2 * time.Minute
+		}
+	}
+	ctrlCfg := core.ControllerConfig{
+		Credential: g.UserCred,
+		Registry:   g.Registry,
+	}
+	if g.Timeline != nil {
+		ctrlCfg.Timeline = g.Timeline
+	}
+	ctrl, err := core.NewController(g.Workstation, ctrlCfg)
+	if err != nil {
+		return err
+	}
+	var pool []transport.Addr
+	for _, p := range sc.Pool {
+		addr, err := transport.ParseAddr(p)
+		if err != nil {
+			return err
+		}
+		pool = append(pool, addr)
+	}
+	timeout := time.Duration(sc.TimeoutSeconds) * time.Second
+
+	var runErr error
+	simErr := g.Sim.Run("agent", func() {
+		// Event reporter: everything the co-allocator tells the agent.
+		var res agent.Result
+		var err error
+		switch sc.Strategy {
+		case "atomic":
+			res, err = agent.Atomic(ctrl, req, timeout)
+		case "", "interactive":
+			res, err = agent.WithSubstitution(ctrl, req, agent.SubstituteOptions{
+				Pool:              pool,
+				CommitTimeout:     timeout,
+				DropUnreplaceable: sc.DropUnreplaceable,
+			})
+		default:
+			runErr = fmt.Errorf("unknown strategy %q", sc.Strategy)
+			return
+		}
+		if err != nil {
+			runErr = fmt.Errorf("co-allocation failed at t=%v: %v", g.Sim.Now(), err)
+			return
+		}
+		fmt.Printf("\ncommitted at t=%v: %d subjobs, %d processes",
+			g.Sim.Now(), res.Config.NSubjobs, res.Config.WorldSize)
+		if res.Substitutions > 0 || res.Deleted > 0 {
+			fmt.Printf(" (%d substituted, %d dropped)", res.Substitutions, res.Deleted)
+		}
+		fmt.Println()
+		for _, info := range res.Job.Status() {
+			fmt.Printf("  subjob %-14s %-10s %s\n", info.Spec.Label, info.Status, info.Reason)
+		}
+		res.Job.Done().Wait()
+		fmt.Printf("computation finished at t=%v", g.Sim.Now())
+		if msg := res.Job.Err(); msg != "" {
+			fmt.Printf(" (%s)", msg)
+		}
+		fmt.Println()
+		if sc.Timeline {
+			fmt.Println("\nevent history:")
+			for _, ev := range res.Job.History() {
+				fmt.Println("  " + ev.String())
+			}
+			fmt.Println("\nsubmission timeline:")
+			fmt.Print(g.Timeline.Render(96))
+		}
+	})
+	if simErr != nil {
+		return simErr
+	}
+	return runErr
+}

@@ -1,0 +1,89 @@
+// Rslfmt parses, validates, and pretty-prints RSL resource specifications.
+//
+// Usage:
+//
+//	rslfmt [-c] [-e] [file...]
+//
+// With no files it reads standard input. -c prints the canonical compact
+// form instead of the indented one; -e additionally decomposes a
+// multirequest into its subjobs, reporting each one's co-allocation
+// attributes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cogrid/internal/core"
+	"cogrid/internal/rsl"
+)
+
+func main() {
+	compact := flag.Bool("c", false, "print the compact canonical form")
+	explain := flag.Bool("e", false, "decompose a multirequest into subjobs")
+	flag.Parse()
+
+	exit := 0
+	if flag.NArg() == 0 {
+		if err := process("<stdin>", os.Stdin, *compact, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		if err := process(path, f, *compact, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+		f.Close()
+	}
+	os.Exit(exit)
+}
+
+func process(name string, r io.Reader, compact, explain bool) error {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	node, err := rsl.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if compact {
+		fmt.Println(node.String())
+	} else {
+		fmt.Println(rsl.Format(node))
+	}
+	if !explain {
+		return nil
+	}
+	req, err := core.ParseRequest(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: not a co-allocation request: %v", name, err)
+	}
+	fmt.Printf("\n%d subjob(s):\n", len(req.Subjobs))
+	for i, sj := range req.Subjobs {
+		label := sj.Label
+		if label == "" {
+			label = fmt.Sprintf("(sj%d)", i)
+		}
+		fmt.Printf("  %-12s %-11s count=%-4d executable=%-12s contact=%s",
+			label, sj.Type, sj.Count, sj.Executable, sj.Contact)
+		if sj.MaxTime > 0 {
+			fmt.Printf(" maxTime=%v", sj.MaxTime)
+		}
+		if sj.ReservationID != "" {
+			fmt.Printf(" reservation=%s", sj.ReservationID)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProcessValidRequest(t *testing.T) {
+	src := `+(&(resourceManagerContact=rm1:gram)(count=1)(executable=master)(subjobStartType=required))
+	        (&(resourceManagerContact=rm2:gram)(count=4)(executable=worker)(subjobStartType=optional)(maxTime=30))`
+	if err := process("test", strings.NewReader(src), false, true); err != nil {
+		t.Fatalf("process: %v", err)
+	}
+	if err := process("test", strings.NewReader(src), true, false); err != nil {
+		t.Fatalf("process compact: %v", err)
+	}
+}
+
+func TestProcessSyntaxError(t *testing.T) {
+	if err := process("bad", strings.NewReader("&(count=)"), false, false); err == nil {
+		t.Fatal("syntax error not reported")
+	}
+}
+
+func TestProcessExplainRejectsNonRequest(t *testing.T) {
+	// Parses as RSL but is not a co-allocation request (no contact).
+	if err := process("plain", strings.NewReader("&(count=4)"), false, true); err == nil {
+		t.Fatal("explain accepted a non-request")
+	}
+}

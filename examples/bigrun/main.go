@@ -1,0 +1,33 @@
+// Bigrun replays the paper's flagship DUROC experience (Section 4.3): the
+// start of a 1386-processor distributed interactive simulation across 13
+// parallel machines at 9 sites, in the presence of machine, network, and
+// application failures that DUROC configures around.
+package main
+
+import (
+	"fmt"
+
+	"cogrid/internal/experiments"
+)
+
+func main() {
+	fmt.Println("starting 1386 processes on 13 machines across 9 sites...")
+	res := experiments.BigRun(5)
+	if res.StartTime == 0 {
+		fmt.Println("the run failed to start:")
+		for _, line := range res.Narrative {
+			fmt.Println("  " + line)
+		}
+		return
+	}
+	fmt.Printf("committed at simulated t=%v: %d subjobs, %d of %d processors\n",
+		res.StartTime, res.Subjobs, res.CommittedPE, res.RequestedPE)
+	fmt.Printf("failures configured around (%d substituted, %d dropped):\n",
+		res.Substitutions, res.Deleted)
+	for _, line := range res.Narrative {
+		fmt.Println("  " + line)
+	}
+	fmt.Println("\nthe same start performed manually took 'literally tens of minutes'")
+	fmt.Println("per attempt in 1998 — and an atomic co-allocator would have restarted")
+	fmt.Println("the whole ensemble three times.")
+}

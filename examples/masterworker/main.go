@@ -1,0 +1,125 @@
+// Masterworker reproduces the paper's Figure 1 scenario: a master/worker
+// computation described in RSL, with the master required and the workers
+// interactive. One worker machine is dead and one is pathologically slow;
+// the agent substitutes the dead one from a spare and drops the slow one,
+// proceeding with reduced fidelity — exactly the Section 2 narrative.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/rsl"
+	"cogrid/internal/transport"
+)
+
+// request is the Figure 1 RSL, with contacts for this grid.
+const request = `+(&(resourceManagerContact=rm1:gram)(count=1)(executable=master)
+   (subjobStartType=required)(label=master))
+  (&(resourceManagerContact=rm2:gram)(count=4)(executable=worker)
+   (subjobStartType=interactive)(label=workers-a))
+  (&(resourceManagerContact=rm3:gram)(count=4)(executable=worker)
+   (subjobStartType=interactive)(label=workers-b))
+  (&(resourceManagerContact=rm4:gram)(count=4)(executable=worker)
+   (subjobStartType=interactive)(label=workers-c))`
+
+func main() {
+	g := grid.New(grid.Options{Seed: 3})
+	for _, name := range []string{"rm1", "rm2", "rm3", "rm4", "rm5"} {
+		g.AddMachine(name, 32, lrm.Fork)
+	}
+	// rm3 is down; rm4 takes forever to start anything.
+	g.Machine("rm3").SetDown(true)
+	g.Machine("rm4").SetSlowFactor(10000)
+
+	g.RegisterEverywhere("master", app("master"))
+	g.RegisterEverywhere("worker", app("worker"))
+
+	node := rsl.MustParse(request)
+	fmt.Println("submitting the Figure 1 request:")
+	fmt.Println(rsl.Format(node))
+	req, err := core.ParseRequest(request)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range req.Subjobs {
+		req.Subjobs[i].StartupTimeout = 90 * time.Second
+	}
+
+	ctrl, err := core.NewController(g.Workstation, core.ControllerConfig{
+		Credential: g.UserCred,
+		Registry:   g.Registry,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = g.Sim.Run("agent", func() {
+		res, err := agent.WithSubstitution(ctrl, req, agent.SubstituteOptions{
+			Pool:              []transport.Addr{g.Contact("rm5")},
+			DropUnreplaceable: true, // proceed at reduced fidelity
+		})
+		if err != nil {
+			log.Fatalf("co-allocation failed: %v", err)
+		}
+		fmt.Printf("\ncommitted at t=%v with %d workers (%d substituted, %d dropped):\n",
+			g.Sim.Now(), res.Config.WorldSize-1, res.Substitutions, res.Deleted)
+		for _, info := range res.Job.Status() {
+			fmt.Printf("  %-12s %-10s %s\n", info.Spec.Label, info.Status, info.Reason)
+		}
+		res.Job.Done().Wait()
+		fmt.Printf("\ncomputation finished at t=%v\n", g.Sim.Now())
+		g.Sim.Sleep(time.Second)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// app builds the master or worker executable: the master collects one
+// result from every worker in the committed configuration.
+func app(role string) lrm.ExecFunc {
+	return func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		cfg, err := rt.Barrier(true, "", 0)
+		if err != nil {
+			return nil
+		}
+		if role == "master" {
+			workers := cfg.WorldSize - 1
+			fmt.Printf("master up with %d workers across %d subjobs\n", workers, cfg.NSubjobs-1)
+			for i := 0; i < workers; i++ {
+				conn, ok := rt.Listener().Accept()
+				if !ok {
+					return fmt.Errorf("master listener closed")
+				}
+				msg, err := conn.Recv()
+				if err != nil {
+					return err
+				}
+				fmt.Printf("master received %s\n", msg)
+				conn.Close()
+			}
+			return nil
+		}
+		// Workers: simulate a task, then report to rank 0 (the master).
+		if err := p.Work(5*time.Second, time.Second); err != nil {
+			return err
+		}
+		conn, err := rt.DialRank(0)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		return conn.Send([]byte(fmt.Sprintf("result from rank %d (subjob %d)", cfg.MyRank, cfg.MySubjob)))
+	}
+}

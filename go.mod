@@ -1,0 +1,3 @@
+module cogrid
+
+go 1.22

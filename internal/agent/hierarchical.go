@@ -1,0 +1,127 @@
+package agent
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/core"
+	"cogrid/internal/vtime"
+)
+
+// HierarchicalResult reports a hierarchical co-allocation: one committed
+// configuration per child.
+type HierarchicalResult struct {
+	Configs []core.Config
+	Jobs    []*core.Job
+}
+
+// WorldSize sums the children's committed processes.
+func (r HierarchicalResult) WorldSize() int {
+	total := 0
+	for _, cfg := range r.Configs {
+		total += cfg.WorldSize
+	}
+	return total
+}
+
+// Hierarchical runs a two-level co-allocation, the composition Section
+// 3.1 says the common mechanism layer enables ("nested or hierarchical
+// co-allocators"): each group is co-allocated as its own child
+// transaction, and the parent commits only when every child could commit
+// — so either every group starts, or none does. Children keep separate
+// rank spaces and address books (each group is a collective unit, like
+// the paper's subjobs on one parallel computer).
+//
+// Child-internal failures are handled by the children's own semantics
+// (required/interactive/optional); the parent treats a child that can no
+// longer commit as fatal and aborts all children.
+func Hierarchical(ctrl *core.Controller, groups []core.Request, timeout time.Duration) (HierarchicalResult, error) {
+	if len(groups) == 0 {
+		return HierarchicalResult{}, fmt.Errorf("agent: hierarchical co-allocation with no groups")
+	}
+	var res HierarchicalResult
+	abortAll := func(reason string) {
+		for _, job := range res.Jobs {
+			job.Abort(reason)
+		}
+	}
+	for _, group := range groups {
+		job, err := ctrl.Submit(group)
+		if err != nil {
+			abortAll("hierarchical: sibling group failed to submit")
+			return res, err
+		}
+		res.Jobs = append(res.Jobs, job)
+	}
+
+	sim := ctrl.Sim()
+	var deadline time.Duration
+	if timeout > 0 {
+		deadline = sim.Now() + timeout
+	}
+	// Parent phase one: wait until every child is ready to commit.
+	for {
+		allReady := true
+		for _, job := range res.Jobs {
+			r := job.Readiness()
+			if len(r.Failed) > 0 {
+				reason := fmt.Sprintf("hierarchical: child subjobs %v failed", r.Failed)
+				abortAll(reason)
+				return res, fmt.Errorf("%w: %s", core.ErrSubjobNotReady, reason)
+			}
+			if job.Err() != "" {
+				abortAll("hierarchical: sibling child aborted")
+				return res, fmt.Errorf("%w: child: %s", core.ErrAborted, job.Err())
+			}
+			if !r.Ready {
+				allReady = false
+			}
+		}
+		if allReady {
+			break
+		}
+		if deadline > 0 && sim.Now() >= deadline {
+			abortAll("hierarchical: timed out")
+			return res, core.ErrCommitTimeout
+		}
+		waitForProgress(sim, res.Jobs, deadline)
+	}
+	// Parent phase two: commit every child. Children are ready, so these
+	// commits release immediately; a failure racing in here kills the
+	// whole hierarchy (parent-level atomicity).
+	for _, job := range res.Jobs {
+		cfg, err := job.Commit(commitSlice)
+		if err != nil {
+			abortAll("hierarchical: child failed during parent commit")
+			for _, j := range res.Jobs {
+				j.Kill()
+			}
+			return res, err
+		}
+		res.Configs = append(res.Configs, cfg)
+	}
+	return res, nil
+}
+
+// waitForProgress blocks briefly on any child's event stream so the
+// parent's readiness poll is event-driven rather than a busy loop.
+func waitForProgress(sim *vtime.Sim, jobs []*core.Job, deadline time.Duration) {
+	wait := commitSlice
+	if deadline > 0 {
+		if remaining := deadline - sim.Now(); remaining < wait {
+			wait = remaining
+		}
+	}
+	if wait <= 0 {
+		return
+	}
+	// Draining one stream suffices: every child state change pokes its
+	// own stream, and the parent re-checks all children each round.
+	for _, job := range jobs {
+		if _, res := job.Events().RecvTimeout(wait); res != vtime.RecvTimedOut {
+			return
+		}
+		return // only ever block on the first live stream per round
+	}
+	sim.Sleep(wait)
+}

@@ -1,0 +1,125 @@
+package agent_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/core"
+	"cogrid/internal/lrm"
+)
+
+func TestHierarchicalCommitsAllGroups(t *testing.T) {
+	g, ctrl := newRig(t, "a1", "a2", "b1", "b2")
+	err := g.Sim.Run("agent", func() {
+		groups := []core.Request{
+			{Subjobs: []core.SubjobSpec{spec(g, "a1", 4), spec(g, "a2", 4)}},
+			{Subjobs: []core.SubjobSpec{spec(g, "b1", 2), spec(g, "b2", 2)}},
+		}
+		res, err := agent.Hierarchical(ctrl, groups, 0)
+		if err != nil {
+			t.Errorf("Hierarchical: %v", err)
+			return
+		}
+		if len(res.Configs) != 2 {
+			t.Fatalf("%d configs", len(res.Configs))
+		}
+		if res.Configs[0].WorldSize != 8 || res.Configs[1].WorldSize != 4 {
+			t.Errorf("world sizes = %d, %d", res.Configs[0].WorldSize, res.Configs[1].WorldSize)
+		}
+		if res.WorldSize() != 12 {
+			t.Errorf("total world = %d", res.WorldSize())
+		}
+		for _, job := range res.Jobs {
+			job.Done().Wait()
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestHierarchicalAbortsAllWhenOneGroupCannotCommit(t *testing.T) {
+	g, ctrl := newRig(t, "a1", "b1", "dead")
+	g.Machine("dead").SetDown(true)
+	err := g.Sim.Run("agent", func() {
+		groups := []core.Request{
+			{Subjobs: []core.SubjobSpec{spec(g, "a1", 4)}},
+			{Subjobs: []core.SubjobSpec{
+				spec(g, "b1", 4),
+				{Contact: g.Contact("dead"), Count: 4, Executable: "app", Type: core.Interactive, Label: "dead"},
+			}},
+		}
+		res, err := agent.Hierarchical(ctrl, groups, 0)
+		if !errors.Is(err, core.ErrSubjobNotReady) {
+			t.Errorf("Hierarchical = %v, want ErrSubjobNotReady", err)
+		}
+		for _, job := range res.Jobs {
+			job.Done().Wait()
+			if job.Err() == "" {
+				t.Error("sibling group was not aborted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestHierarchicalRequiredFailureAbortsSiblings(t *testing.T) {
+	g, ctrl := newRig(t, "a1", "dead")
+	g.Machine("dead").SetDown(true)
+	err := g.Sim.Run("agent", func() {
+		groups := []core.Request{
+			{Subjobs: []core.SubjobSpec{spec(g, "a1", 4)}},
+			{Subjobs: []core.SubjobSpec{
+				{Contact: g.Contact("dead"), Count: 4, Executable: "app", Type: core.Required, Label: "dead"},
+			}},
+		}
+		_, err := agent.Hierarchical(ctrl, groups, 0)
+		// The parent may observe the failed required subjob either before
+		// or after the child finishes aborting itself.
+		if !errors.Is(err, core.ErrAborted) && !errors.Is(err, core.ErrSubjobNotReady) {
+			t.Errorf("Hierarchical = %v, want ErrAborted or ErrSubjobNotReady", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestHierarchicalTimeout(t *testing.T) {
+	g, ctrl := newRig(t, "a1", "stuck")
+	g.RegisterEverywhere("sleeper", func(p *lrm.Proc) error {
+		return p.Work(2*time.Hour, time.Second)
+	})
+	err := g.Sim.Run("agent", func() {
+		groups := []core.Request{
+			{Subjobs: []core.SubjobSpec{spec(g, "a1", 2)}},
+			{Subjobs: []core.SubjobSpec{
+				{Contact: g.Contact("stuck"), Count: 2, Executable: "sleeper",
+					Type: core.Required, Label: "stuck", StartupTimeout: time.Hour},
+			}},
+		}
+		start := g.Sim.Now()
+		_, err := agent.Hierarchical(ctrl, groups, 5*time.Minute)
+		if !errors.Is(err, core.ErrCommitTimeout) {
+			t.Errorf("Hierarchical = %v, want ErrCommitTimeout", err)
+		}
+		if took := g.Sim.Now() - start; took < 5*time.Minute || took > 6*time.Minute {
+			t.Errorf("timed out after %v, want ~5m", took)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestHierarchicalEmptyGroups(t *testing.T) {
+	g, ctrl := newRig(t, "a1")
+	if _, err := agent.Hierarchical(ctrl, nil, 0); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+	_ = g.Sim.Run("noop", func() {})
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"cogrid/internal/gram"
+	"cogrid/internal/gsi"
+	"cogrid/internal/rpc"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// ServiceName is the transport service the controller's barrier endpoint
+// listens on.
+const ServiceName = "duroc"
+
+// Environment keys passed to application processes.
+const (
+	EnvContact = "DUROC_CONTACT"
+	EnvJob     = "DUROC_JOB"
+	EnvSubjob  = "DUROC_SUBJOB"
+)
+
+// ControllerConfig configures a co-allocation controller.
+type ControllerConfig struct {
+	Credential gsi.Credential
+	Registry   *gsi.Registry
+	AuthCost   gsi.CostModel // zero value replaced by gsi.DefaultCost
+	// DefaultStartupTimeout bounds submission-to-check-in per subjob when
+	// the spec does not override it. Default 10 minutes.
+	DefaultStartupTimeout time.Duration
+	// ParallelSubmission submits subjobs concurrently instead of the
+	// sequential pipeline the paper's DUROC used (Figure 5 shows the
+	// GRAM requests "must be submitted sequentially"). Exists for the
+	// ablation study of that design choice.
+	ParallelSubmission bool
+	// Timeline, if set, records per-subjob submission, startup-wait, and
+	// barrier phases (Figure 5).
+	Timeline gram.PhaseRecorder
+}
+
+// Controller is the co-allocation agent's side of DUROC: it owns the
+// barrier service and drives co-allocation jobs.
+type Controller struct {
+	sim  *vtime.Sim
+	host *transport.Host
+	cfg  ControllerConfig
+
+	mu      sync.Mutex
+	nextJob int
+	jobs    map[string]*Job
+	server  *rpc.Server
+}
+
+// NewController starts a controller on host, listening for barrier
+// check-ins.
+func NewController(host *transport.Host, cfg ControllerConfig) (*Controller, error) {
+	if cfg.AuthCost == (gsi.CostModel{}) {
+		cfg.AuthCost = gsi.DefaultCost
+	}
+	if cfg.DefaultStartupTimeout == 0 {
+		cfg.DefaultStartupTimeout = 10 * time.Minute
+	}
+	c := &Controller{
+		sim:  host.Network().Sim(),
+		host: host,
+		cfg:  cfg,
+		jobs: make(map[string]*Job),
+	}
+	l, err := host.Listen(ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	c.server = rpc.Serve(c.sim, l, c, nil)
+	return c, nil
+}
+
+// Close terminates every live co-allocation and stops the barrier
+// service. A closed controller cannot accept further check-ins, so call
+// it only when the computations are done with the co-allocator.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	jobs := make([]*Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	for _, j := range jobs {
+		if !j.done.IsSet() {
+			j.Abort("controller closed")
+		}
+	}
+	c.server.Close()
+}
+
+// Contact returns the barrier service address application processes check
+// in to.
+func (c *Controller) Contact() transport.Addr {
+	return transport.Addr{Host: c.host.Name(), Service: ServiceName}
+}
+
+// Sim returns the kernel the controller runs on.
+func (c *Controller) Sim() *vtime.Sim { return c.sim }
+
+// Submit starts a co-allocation for the request and returns immediately;
+// submission, monitoring, and the barrier run in the background. The agent
+// drives the job via its Events stream, edit operations, and Commit.
+func (c *Controller) Submit(req Request) (*Job, error) {
+	c.mu.Lock()
+	c.nextJob++
+	id := fmt.Sprintf("%s/coalloc%d", c.host.Name(), c.nextJob)
+	c.mu.Unlock()
+
+	j := &Job{
+		c:       c,
+		id:      id,
+		byLabel: make(map[string]*subjob),
+		queue:   vtime.NewChan[*subjob](c.sim, "duroc-queue:"+id, 4096),
+		events:  vtime.NewChan[Event](c.sim, "duroc-events:"+id, 4096),
+		signal:  vtime.NewChan[struct{}](c.sim, "duroc-signal:"+id, 1),
+		done:    vtime.NewEvent(c.sim, "duroc-done:"+id),
+	}
+	j.mu.Lock()
+	for _, spec := range req.Subjobs {
+		if _, err := j.addLocked(spec); err != nil {
+			j.mu.Unlock()
+			return nil, err
+		}
+	}
+	if len(j.subjobs) == 0 {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("duroc: empty request")
+	}
+	j.mu.Unlock()
+
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.mu.Unlock()
+	c.sim.GoDaemon("duroc-engine:"+id, j.engine)
+	return j, nil
+}
+
+// SubmitRSL parses a multirequest and submits it.
+func (c *Controller) SubmitRSL(src string) (*Job, error) {
+	req, err := ParseRequest(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Submit(req)
+}
+
+// --- barrier service ---
+
+type checkinArgs struct {
+	Job    string `json:"job"`
+	Subjob string `json:"subjob"`
+	Rank   int    `json:"rank"`
+	OK     bool   `json:"ok"`
+	Msg    string `json:"msg,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+}
+
+type checkinReply struct {
+	Proceed bool   `json:"proceed"`
+	Reason  string `json:"reason,omitempty"`
+	Config  Config `json:"config"`
+}
+
+// HandleCall implements rpc.Handler for the barrier service. The checkin
+// call blocks until the commit decision — this is the application-visible
+// barrier of the two-phase commit.
+func (c *Controller) HandleCall(sc *rpc.ServerConn, method string, body json.RawMessage) (any, error) {
+	if method != "checkin" {
+		return nil, fmt.Errorf("duroc: unknown method %s", method)
+	}
+	var args checkinArgs
+	if err := rpc.Decode(body, &args); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	j := c.jobs[args.Job]
+	c.mu.Unlock()
+	if j == nil {
+		return checkinReply{Proceed: false, Reason: "unknown co-allocation " + args.Job}, nil
+	}
+	return j.checkin(args), nil
+}
+
+// HandleNotify implements rpc.Handler; the barrier service has no
+// notifications.
+func (c *Controller) HandleNotify(sc *rpc.ServerConn, method string, body json.RawMessage) {}
+
+// record emits a timeline span if a recorder is configured.
+func (c *Controller) record(actor, phase string, start, end time.Duration) {
+	if c.cfg.Timeline != nil {
+		c.cfg.Timeline.Add(actor, phase, start, end)
+	}
+}

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+)
+
+// A complete co-allocation: two machines, a barrier, a commit, and the
+// configuration every process receives.
+func Example() {
+	g := grid.New(grid.Options{})
+	g.AddMachine("mercury", 16, lrm.Fork)
+	g.AddMachine("venus", 16, lrm.Fork)
+	g.RegisterEverywhere("app", func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 0); err != nil {
+			return nil // aborted before commit
+		}
+		return nil
+	})
+	ctrl, err := core.NewController(g.Workstation, core.ControllerConfig{
+		Credential: g.UserCred, Registry: g.Registry,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	err = g.Sim.Run("agent", func() {
+		job, err := ctrl.Submit(core.Request{Subjobs: []core.SubjobSpec{
+			{Label: "a", Contact: g.Contact("mercury"), Count: 2, Executable: "app", Type: core.Required},
+			{Label: "b", Contact: g.Contact("venus"), Count: 3, Executable: "app", Type: core.Interactive},
+		}})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		cfg, err := job.Commit(time.Hour)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%d subjobs, %d processes, sizes %v\n", cfg.NSubjobs, cfg.WorldSize, cfg.SubjobSizes)
+		job.Done().Wait()
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// 2 subjobs, 5 processes, sizes [2 3]
+}
+
+// ParseRequest reads the paper's RSL multirequest notation.
+func ExampleParseRequest() {
+	req, err := core.ParseRequest(`+(&(resourceManagerContact=rm1:gram)(count=1)
+	     (executable=master)(subjobStartType=required))
+	   (&(resourceManagerContact=rm2:gram)(count=4)
+	     (executable=worker)(subjobStartType=interactive))`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, sj := range req.Subjobs {
+		fmt.Printf("%s: %d x %s (%s)\n", sj.Contact, sj.Count, sj.Executable, sj.Type)
+	}
+	// Output:
+	// rm1:gram: 1 x master (required)
+	// rm2:gram: 4 x worker (interactive)
+}

@@ -1,0 +1,784 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cogrid/internal/gram"
+	"cogrid/internal/lrm"
+	"cogrid/internal/rsl"
+	"cogrid/internal/vtime"
+)
+
+// subjob is the controller's view of one element of the resource set.
+type subjob struct {
+	spec    SubjobSpec
+	status  SubjobStatus
+	client  *gram.Client
+	contact string
+	reason  string
+
+	checkins map[int]*procCheckin
+
+	queuedAt    time.Duration
+	submittedAt time.Duration
+	checkedInAt time.Duration
+}
+
+// procCheckin records one process waiting in the barrier.
+type procCheckin struct {
+	rank  int
+	addr  string
+	at    time.Duration
+	reply *vtime.Chan[checkinReply]
+}
+
+// Job is a co-allocation in progress: the single abstraction through which
+// the agent monitors and controls the whole resource ensemble.
+type Job struct {
+	c  *Controller
+	id string
+
+	mu       sync.Mutex
+	subjobs  []*subjob
+	byLabel  map[string]*subjob
+	nextAuto int
+
+	committing bool
+	released   bool
+	terminated bool
+	termReason string
+	config     Config
+	releaseAt  time.Duration
+	waits      []time.Duration
+
+	queue   *vtime.Chan[*subjob]
+	events  *vtime.Chan[Event]
+	signal  *vtime.Chan[struct{}]
+	done    *vtime.Event
+	history []Event
+}
+
+// ID returns the co-allocation identifier.
+func (j *Job) ID() string { return j.id }
+
+// Events returns the job's event stream. It closes after the terminal
+// EvDone or EvAborted event.
+func (j *Job) Events() *vtime.Chan[Event] { return j.events }
+
+// Done returns an event set when the co-allocation terminates: aborted, or
+// all committed subjobs finished.
+func (j *Job) Done() *vtime.Event { return j.done }
+
+// Err returns the termination reason, or "" if none.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.termReason
+}
+
+// SubjobInfo is a snapshot of one subjob's progress.
+type SubjobInfo struct {
+	Spec    SubjobSpec
+	Status  SubjobStatus
+	Reason  string
+	Contact string
+}
+
+// Status snapshots all subjobs in request order.
+func (j *Job) Status() []SubjobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]SubjobInfo, len(j.subjobs))
+	for i, sj := range j.subjobs {
+		out[i] = SubjobInfo{Spec: sj.spec, Status: sj.status, Reason: sj.reason, Contact: sj.contact}
+	}
+	return out
+}
+
+// BarrierWaits returns, after release, each process's time spent in the
+// co-allocation barrier (Figure 4's "Avg. barrier wait" data).
+func (j *Job) BarrierWaits() []time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]time.Duration(nil), j.waits...)
+}
+
+// emit delivers an event to the agent and records it in the job history.
+func (j *Job) emit(kind EventKind, sj *subjob, reason string) {
+	ev := Event{Kind: kind, Reason: reason, At: j.c.sim.Now()}
+	if sj != nil {
+		ev.Label = sj.spec.Label
+		ev.Type = sj.spec.Type
+	}
+	j.mu.Lock()
+	j.history = append(j.history, ev)
+	j.mu.Unlock()
+	j.events.TrySend(ev)
+}
+
+// History returns every event emitted so far, in order — the monitoring
+// record an agent or operator consults after the fact.
+func (j *Job) History() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.history...)
+}
+
+// poke wakes a blocked Commit.
+func (j *Job) poke() { j.signal.TrySend(struct{}{}) }
+
+// --- request editing (Section 3.2: add, delete, substitute) ---
+
+// addLocked registers a new subjob and queues it for submission. Caller
+// holds j.mu.
+func (j *Job) addLocked(spec SubjobSpec) (*subjob, error) {
+	if spec.Count <= 0 {
+		return nil, fmt.Errorf("duroc: subjob %q: count must be positive", spec.Label)
+	}
+	if spec.Executable == "" {
+		return nil, fmt.Errorf("duroc: subjob %q: missing executable", spec.Label)
+	}
+	if spec.Label == "" {
+		spec.Label = "sj" + strconv.Itoa(j.nextAuto)
+		j.nextAuto++
+	}
+	if _, dup := j.byLabel[spec.Label]; dup {
+		return nil, fmt.Errorf("duroc: duplicate subjob label %q", spec.Label)
+	}
+	if spec.StartupTimeout == 0 {
+		spec.StartupTimeout = j.c.cfg.DefaultStartupTimeout
+	}
+	sj := &subjob{
+		spec:     spec,
+		status:   SJQueued,
+		checkins: make(map[int]*procCheckin),
+		queuedAt: j.c.sim.Now(),
+	}
+	j.subjobs = append(j.subjobs, sj)
+	j.byLabel[spec.Label] = sj
+	j.queue.TrySend(sj)
+	return sj, nil
+}
+
+// Add appends a subjob to the request. Allowed until the commit decision
+// (for required and interactive subjobs) and, for optional subjobs, any
+// time before termination.
+func (j *Job) Add(spec SubjobSpec) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminated {
+		return ErrAborted
+	}
+	if j.released && spec.Type != Optional {
+		return ErrCommitted
+	}
+	_, err := j.addLocked(spec)
+	if err == nil {
+		j.pokeLocked()
+	}
+	return err
+}
+
+// Delete removes a subjob from the request, cancelling any resources it
+// holds. Its barrier waiters are released with an abort.
+func (j *Job) Delete(label string) error {
+	j.mu.Lock()
+	if j.terminated {
+		j.mu.Unlock()
+		return ErrAborted
+	}
+	if j.released {
+		j.mu.Unlock()
+		return ErrCommitted
+	}
+	sj, ok := j.byLabel[label]
+	if !ok || sj.status == SJDeleted {
+		j.mu.Unlock()
+		return ErrNoSuchSubjob
+	}
+	j.editOutLocked(sj, "deleted by agent")
+	j.pokeLocked()
+	j.mu.Unlock()
+	return nil
+}
+
+// editOutLocked removes a subjob from the request: live subjobs are
+// discarded (resources cancelled, barrier waiters aborted); already-failed
+// subjobs are simply marked deleted so they no longer block commitment.
+// Caller holds j.mu.
+func (j *Job) editOutLocked(sj *subjob, reason string) {
+	if sj.status == SJFailed {
+		sj.status = SJDeleted
+		sj.reason = reason + " (after failure: " + sj.reason + ")"
+		return
+	}
+	j.discardLocked(sj, SJDeleted, reason)
+}
+
+// Substitute replaces a subjob with a different resource specification, as
+// one edit.
+func (j *Job) Substitute(label string, spec SubjobSpec) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminated {
+		return ErrAborted
+	}
+	if j.released {
+		return ErrCommitted
+	}
+	sj, ok := j.byLabel[label]
+	if !ok || sj.status == SJDeleted {
+		return ErrNoSuchSubjob
+	}
+	j.editOutLocked(sj, "substituted by agent")
+	if _, err := j.addLocked(spec); err != nil {
+		return err
+	}
+	j.pokeLocked()
+	return nil
+}
+
+// discardLocked cancels a subjob's resources and releases its barrier
+// waiters with an abort. Caller holds j.mu.
+func (j *Job) discardLocked(sj *subjob, status SubjobStatus, reason string) {
+	if sj.status.terminal() {
+		return
+	}
+	sj.status = status
+	sj.reason = reason
+	for _, ci := range sj.checkins {
+		ci.reply.TrySend(checkinReply{Proceed: false, Reason: reason})
+	}
+	client, contact := sj.client, sj.contact
+	sj.client = nil
+	if client != nil {
+		j.c.sim.GoDaemon("duroc-cancel:"+j.id+"/"+sj.spec.Label, func() {
+			if contact != "" {
+				client.Cancel(contact)
+			}
+			client.Close()
+		})
+	}
+}
+
+func (j *Job) pokeLocked() {
+	j.signal.TrySend(struct{}{})
+}
+
+// --- submission engine ---
+
+// engine submits queued subjobs sequentially. The sequential structure is
+// what produces the pipelined timeline of Figure 5: the client-serialized
+// portion of each GRAM request (connection, authentication, request
+// processing) staggers successive subjobs, while process startup and
+// barrier waits overlap.
+func (j *Job) engine() {
+	for {
+		sj, ok := j.queue.Recv()
+		if !ok {
+			return
+		}
+		j.mu.Lock()
+		skip := sj.status != SJQueued || j.terminated
+		j.mu.Unlock()
+		if skip {
+			continue
+		}
+		if j.c.cfg.ParallelSubmission {
+			sj := sj
+			j.c.sim.GoDaemon("duroc-submit:"+j.id+"/"+sj.spec.Label, func() {
+				j.submitSubjob(sj)
+			})
+			continue
+		}
+		j.submitSubjob(sj)
+	}
+}
+
+// submitSubjob performs one GRAM submission and wires up monitoring.
+func (j *Job) submitSubjob(sj *subjob) {
+	c := j.c
+	start := c.sim.Now()
+	client, err := gram.Dial(c.host, sj.spec.Contact, gram.ClientConfig{
+		Credential: c.cfg.Credential,
+		Registry:   c.cfg.Registry,
+		AuthCost:   c.cfg.AuthCost,
+	})
+	if err != nil {
+		j.subjobFailed(sj, fmt.Sprintf("submit: %v", err))
+		return
+	}
+	contact, err := client.Submit(j.subjobRSL(sj))
+	c.record(sj.spec.Label, "submit", start, c.sim.Now())
+	if err != nil {
+		client.Close()
+		j.subjobFailed(sj, fmt.Sprintf("submit: %v", err))
+		return
+	}
+
+	j.mu.Lock()
+	if sj.status != SJQueued || j.terminated {
+		// Deleted or aborted while we were submitting: undo.
+		j.mu.Unlock()
+		client.Cancel(contact)
+		client.Close()
+		return
+	}
+	sj.client = client
+	sj.contact = contact
+	sj.status = SJSubmitted
+	sj.submittedAt = c.sim.Now()
+	j.mu.Unlock()
+	j.emit(EvSubmitted, sj, "")
+	j.poke()
+
+	// Startup timeout: submission to full check-in.
+	c.sim.AfterFunc(sj.spec.StartupTimeout, func() {
+		j.mu.Lock()
+		pending := !sj.status.terminal() && sj.status != SJCheckedIn && sj.status != SJReleased && !j.released
+		j.mu.Unlock()
+		if pending {
+			j.subjobFailed(sj, "startup timeout after "+sj.spec.StartupTimeout.String())
+		}
+	})
+
+	c.sim.GoDaemon("duroc-monitor:"+j.id+"/"+sj.spec.Label, func() {
+		j.monitorSubjob(sj, client)
+	})
+}
+
+// subjobRSL builds the GRAM request for one subjob, injecting the DUROC
+// environment the application runtime attaches to.
+func (j *Job) subjobRSL(sj *subjob) string {
+	node := rsl.Conj(
+		[2]string{"executable", sj.spec.Executable},
+		[2]string{"count", strconv.Itoa(sj.spec.Count)},
+	)
+	if sj.spec.MaxTime > 0 {
+		node.Children = append(node.Children, &rsl.Relation{
+			Attribute: "maxTime", Op: rsl.OpEq,
+			Value: rsl.Literal(strconv.Itoa(int(sj.spec.MaxTime / time.Minute))),
+		})
+	}
+	if sj.spec.ReservationID != "" {
+		node.Children = append(node.Children, &rsl.Relation{
+			Attribute: "reservationID", Op: rsl.OpEq,
+			Value: rsl.Literal(sj.spec.ReservationID),
+		})
+	}
+	node.Children = append(node.Children, &rsl.Relation{
+		Attribute: "environment", Op: rsl.OpEq,
+		Value: rsl.Seq{
+			rsl.Literal(EnvContact), rsl.Literal(j.c.Contact().String()),
+			rsl.Literal(EnvJob), rsl.Literal(j.id),
+			rsl.Literal(EnvSubjob), rsl.Literal(sj.spec.Label),
+		},
+	})
+	return node.String()
+}
+
+// monitorSubjob consumes GRAM callbacks for one subjob.
+func (j *Job) monitorSubjob(sj *subjob, client *gram.Client) {
+	for {
+		ev, ok := client.Events().Recv()
+		if !ok {
+			// Connection lost: if the subjob is still in flight this is a
+			// resource failure with error-report semantics.
+			j.mu.Lock()
+			inFlight := !sj.status.terminal() && sj.status != SJDone
+			j.mu.Unlock()
+			if inFlight {
+				j.subjobFailed(sj, "lost contact with resource manager")
+			}
+			return
+		}
+		switch ev.State {
+		case lrm.StateActive:
+			j.mu.Lock()
+			if sj.status == SJSubmitted {
+				sj.status = SJActive
+			}
+			j.mu.Unlock()
+			j.emit(EvActive, sj, "")
+			j.poke()
+		case lrm.StateFailed:
+			j.subjobFailed(sj, "resource manager reported failure: "+ev.Reason)
+		case lrm.StateDone:
+			j.mu.Lock()
+			released := sj.status == SJReleased
+			lateOptional := j.released && sj.spec.Type == Optional && !sj.status.terminal()
+			if lateOptional {
+				sj.status = SJDone
+			}
+			j.mu.Unlock()
+			switch {
+			case released:
+				j.subjobDone(sj)
+			case lateOptional:
+				j.emit(EvSubjobDone, sj, "")
+			default:
+				j.subjobFailed(sj, "processes exited before the co-allocation barrier")
+			}
+			return
+		case lrm.StateCancelled:
+			// Cancellation is initiated by this controller; the subjob has
+			// already been marked. Nothing to do.
+		}
+	}
+}
+
+// subjobFailed applies the Section 3.2 failure semantics for sj's type.
+func (j *Job) subjobFailed(sj *subjob, reason string) {
+	j.mu.Lock()
+	if sj.status.terminal() || j.terminated {
+		j.mu.Unlock()
+		return
+	}
+	wasReleased := sj.status == SJReleased
+	j.discardLocked(sj, SJFailed, reason)
+	typ := sj.spec.Type
+	j.pokeLocked()
+	j.mu.Unlock()
+
+	j.emit(EvSubjobFailed, sj, reason)
+	if typ == Required {
+		// Required failure terminates the whole computation, before or
+		// after commit.
+		j.terminate(fmt.Sprintf("required subjob %q failed: %s", sj.spec.Label, reason))
+		return
+	}
+	if wasReleased {
+		j.checkAllDone()
+	}
+}
+
+// subjobDone marks a released subjob finished.
+func (j *Job) subjobDone(sj *subjob) {
+	j.mu.Lock()
+	if sj.status != SJReleased {
+		j.mu.Unlock()
+		return
+	}
+	sj.status = SJDone
+	if sj.client != nil {
+		client := sj.client
+		sj.client = nil
+		j.c.sim.GoDaemon("duroc-close:"+j.id+"/"+sj.spec.Label, client.Close)
+	}
+	j.mu.Unlock()
+	j.emit(EvSubjobDone, sj, "")
+	j.checkAllDone()
+}
+
+// checkAllDone completes the job once every released subjob has finished.
+func (j *Job) checkAllDone() {
+	j.mu.Lock()
+	if !j.released || j.terminated {
+		j.mu.Unlock()
+		return
+	}
+	for _, sj := range j.subjobs {
+		if sj.status == SJReleased {
+			j.mu.Unlock()
+			return
+		}
+	}
+	j.terminated = true
+	j.mu.Unlock()
+	j.emit(EvDone, nil, "")
+	j.finish()
+}
+
+// terminate aborts or kills the whole co-allocation.
+func (j *Job) terminate(reason string) {
+	j.mu.Lock()
+	if j.terminated {
+		j.mu.Unlock()
+		return
+	}
+	j.terminated = true
+	j.termReason = reason
+	for _, sj := range j.subjobs {
+		if !sj.status.terminal() {
+			j.discardLocked(sj, SJFailed, reason)
+		}
+	}
+	j.pokeLocked()
+	j.mu.Unlock()
+	j.emit(EvAborted, nil, reason)
+	j.finish()
+}
+
+// finish closes the job's channels and sets done.
+func (j *Job) finish() {
+	j.mu.Lock()
+	if !j.queue.IsClosed() {
+		j.queue.Close()
+	}
+	j.mu.Unlock()
+	j.events.Close()
+	j.done.Set()
+}
+
+// Abort terminates the co-allocation before commit; Kill is the collective
+// control operation for a running computation (Section 3.4). They share
+// semantics.
+func (j *Job) Abort(reason string) {
+	if reason == "" {
+		reason = "aborted by agent"
+	}
+	j.terminate(reason)
+}
+
+// Kill terminates the whole running computation — the collective "kill"
+// control operation of Section 3.4.
+func (j *Job) Kill() { j.terminate("killed by agent") }
+
+// Suspend pauses every released subjob's processes, treating the ensemble
+// as a collective unit — one of the further control operations Section
+// 3.4 anticipates. It returns the first error encountered.
+func (j *Job) Suspend() error { return j.signalAll((*gram.Client).Suspend) }
+
+// Resume continues a suspended computation.
+func (j *Job) Resume() error { return j.signalAll((*gram.Client).Resume) }
+
+func (j *Job) signalAll(op func(*gram.Client, string) error) error {
+	j.mu.Lock()
+	if !j.released {
+		j.mu.Unlock()
+		return ErrNotCommitted
+	}
+	type target struct {
+		client  *gram.Client
+		contact string
+	}
+	var targets []target
+	for _, sj := range j.subjobs {
+		if sj.status == SJReleased && sj.client != nil {
+			targets = append(targets, target{client: sj.client, contact: sj.contact})
+		}
+	}
+	j.mu.Unlock()
+	var firstErr error
+	for _, t := range targets {
+		if err := op(t.client, t.contact); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- barrier and commit ---
+
+// checkin handles one process's arrival at the co-allocation barrier. It
+// blocks until the commit decision (or returns immediately for late
+// joiners and failures).
+func (j *Job) checkin(args checkinArgs) checkinReply {
+	j.mu.Lock()
+	sj, ok := j.byLabel[args.Subjob]
+	if !ok {
+		j.mu.Unlock()
+		return checkinReply{Proceed: false, Reason: "unknown subjob " + args.Subjob}
+	}
+	if j.terminated || sj.status.terminal() {
+		reason := j.termReason
+		if reason == "" {
+			reason = sj.reason
+		}
+		j.mu.Unlock()
+		return checkinReply{Proceed: false, Reason: reason}
+	}
+	if !args.OK {
+		j.mu.Unlock()
+		j.subjobFailed(sj, fmt.Sprintf("process %d reported unsuccessful startup: %s", args.Rank, args.Msg))
+		return checkinReply{Proceed: false, Reason: "startup rejected: " + args.Msg}
+	}
+	if j.released {
+		// Late joiner from an optional subjob: proceed immediately with
+		// the committed configuration.
+		cfg := j.config
+		cfg.MySubjob = j.committedIndexLocked(sj)
+		cfg.MyRank = -1
+		j.mu.Unlock()
+		return checkinReply{Proceed: true, Config: cfg}
+	}
+	ci := &procCheckin{
+		rank:  args.Rank,
+		addr:  args.Addr,
+		at:    j.c.sim.Now(),
+		reply: vtime.NewChan[checkinReply](j.c.sim, "duroc-release:"+j.id+"/"+args.Subjob+"/"+strconv.Itoa(args.Rank), 1),
+	}
+	sj.checkins[args.Rank] = ci
+	full := len(sj.checkins) == sj.spec.Count
+	if full && (sj.status == SJActive || sj.status == SJSubmitted) {
+		sj.status = SJCheckedIn
+		sj.checkedInAt = j.c.sim.Now()
+		j.c.record(sj.spec.Label, "startup-wait", sj.submittedAt, sj.checkedInAt)
+	}
+	j.mu.Unlock()
+	if full {
+		j.emit(EvCheckedIn, sj, "")
+		j.poke()
+	}
+	reply, _ := ci.reply.Recv()
+	return reply
+}
+
+// committedIndexLocked returns sj's index within the committed
+// configuration, or -1. Caller holds j.mu.
+func (j *Job) committedIndexLocked(sj *subjob) int {
+	for i, label := range j.config.SubjobLabels {
+		if label == sj.spec.Label {
+			return i
+		}
+	}
+	return -1
+}
+
+// CommitReadiness describes what Commit is waiting for.
+type CommitReadiness struct {
+	Ready     bool
+	Waiting   []string // labels not yet checked in (required/interactive)
+	Failed    []string // failed, not yet edited out (required/interactive)
+	CheckedIn []string
+}
+
+// Readiness reports whether the request could commit now.
+func (j *Job) Readiness() CommitReadiness {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.readinessLocked()
+}
+
+func (j *Job) readinessLocked() CommitReadiness {
+	r := CommitReadiness{Ready: true}
+	for _, sj := range j.subjobs {
+		if sj.spec.Type == Optional || sj.status == SJDeleted {
+			continue
+		}
+		switch sj.status {
+		case SJCheckedIn:
+			r.CheckedIn = append(r.CheckedIn, sj.spec.Label)
+		case SJFailed:
+			r.Failed = append(r.Failed, sj.spec.Label)
+			r.Ready = false
+		default:
+			r.Waiting = append(r.Waiting, sj.spec.Label)
+			r.Ready = false
+		}
+	}
+	if len(r.CheckedIn) == 0 {
+		r.Ready = false
+	}
+	return r
+}
+
+// Commit waits until every required and interactive subjob has fully
+// checked in, then releases all barriers with the committed configuration.
+// Edits remain possible while Commit blocks (that is what makes the
+// transaction interactive). A zero timeout waits indefinitely; on timeout
+// Commit returns ErrCommitTimeout or, if failed subjobs were never edited
+// out, ErrSubjobNotReady.
+func (j *Job) Commit(timeout time.Duration) (Config, error) {
+	deadline := j.c.sim.Now() + timeout
+	j.mu.Lock()
+	j.committing = true
+	j.mu.Unlock()
+	for {
+		j.mu.Lock()
+		if j.terminated {
+			reason := j.termReason
+			j.mu.Unlock()
+			return Config{}, fmt.Errorf("%w: %s", ErrAborted, reason)
+		}
+		if j.released {
+			cfg := j.config
+			j.mu.Unlock()
+			return cfg, nil
+		}
+		r := j.readinessLocked()
+		if r.Ready {
+			cfg := j.releaseLocked()
+			j.mu.Unlock()
+			j.emit(EvCommitted, nil, "")
+			return cfg, nil
+		}
+		j.mu.Unlock()
+		if timeout == 0 {
+			j.signal.Recv()
+			continue
+		}
+		remaining := deadline - j.c.sim.Now()
+		if remaining <= 0 {
+			if r := j.Readiness(); len(r.Failed) > 0 {
+				return Config{}, fmt.Errorf("%w: failed subjobs %v", ErrSubjobNotReady, r.Failed)
+			}
+			return Config{}, ErrCommitTimeout
+		}
+		j.signal.RecvTimeout(remaining)
+	}
+}
+
+// releaseLocked computes the committed configuration and releases every
+// waiting process. Caller holds j.mu.
+func (j *Job) releaseLocked() Config {
+	now := j.c.sim.Now()
+	cfg := Config{}
+	var committed []*subjob
+	for _, sj := range j.subjobs {
+		// Fully checked-in subjobs of any type join the static
+		// configuration; partially arrived optional subjobs become late
+		// joiners below.
+		if sj.status == SJCheckedIn {
+			committed = append(committed, sj)
+		}
+	}
+	for _, sj := range committed {
+		cfg.NSubjobs++
+		cfg.SubjobSizes = append(cfg.SubjobSizes, sj.spec.Count)
+		cfg.SubjobLabels = append(cfg.SubjobLabels, sj.spec.Label)
+		cfg.WorldSize += sj.spec.Count
+	}
+	cfg.AddressBook = make([]string, 0, cfg.WorldSize)
+	for _, sj := range committed {
+		ranks := make([]*procCheckin, 0, len(sj.checkins))
+		for _, ci := range sj.checkins {
+			ranks = append(ranks, ci)
+		}
+		sort.Slice(ranks, func(a, b int) bool { return ranks[a].rank < ranks[b].rank })
+		for _, ci := range ranks {
+			cfg.AddressBook = append(cfg.AddressBook, ci.addr)
+		}
+	}
+	j.config = cfg
+	j.released = true
+	j.releaseAt = now
+
+	for idx, sj := range committed {
+		for _, ci := range sj.checkins {
+			reply := checkinReply{Proceed: true, Config: cfg}
+			reply.Config.MySubjob = idx
+			reply.Config.MyRank = cfg.RankOf(idx, ci.rank)
+			ci.reply.TrySend(reply)
+			j.waits = append(j.waits, now-ci.at)
+		}
+		sj.status = SJReleased
+		j.c.record(sj.spec.Label, "barrier", sj.checkedInAt, now)
+	}
+	// Optional subjobs with partial check-ins become late joiners.
+	for _, sj := range j.subjobs {
+		if sj.spec.Type == Optional && !sj.status.terminal() && sj.status != SJReleased {
+			for _, ci := range sj.checkins {
+				reply := checkinReply{Proceed: true, Config: cfg}
+				reply.Config.MySubjob = -1
+				reply.Config.MyRank = -1
+				ci.reply.TrySend(reply)
+			}
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests assert the paper's qualitative claims — the shapes of the
+// figures — not absolute numbers.
+
+func TestFigure2LatencyFlatInProcessCount(t *testing.T) {
+	res := Figure2([]int{1, 16, 32, 64})
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	base := res.Rows[0].Latency
+	if base < 1500*time.Millisecond || base > 2500*time.Millisecond {
+		t.Errorf("single-process latency = %v, want ~2s", base)
+	}
+	for _, row := range res.Rows {
+		if row.Latency != base {
+			t.Errorf("latency for %d procs = %v, differs from %v (paper: flat)", row.Processes, row.Latency, base)
+		}
+	}
+}
+
+func TestFigure3BreakdownMatchesPaper(t *testing.T) {
+	res := Figure3()
+	ig := res.Phases["initgroups"]
+	auth := res.Phases["authentication"]
+	misc := res.Phases["misc"]
+	fork := res.Phases["fork"]
+	if ig < 650*time.Millisecond || ig > 750*time.Millisecond {
+		t.Errorf("initgroups = %v, want ~0.7s", ig)
+	}
+	if auth < 450*time.Millisecond || auth > 550*time.Millisecond {
+		t.Errorf("authentication = %v, want ~0.5s", auth)
+	}
+	if misc != 10*time.Millisecond {
+		t.Errorf("misc = %v, want 0.01s", misc)
+	}
+	if fork != time.Millisecond {
+		t.Errorf("fork = %v, want 0.001s", fork)
+	}
+	// Ordering claim: initgroups is the largest contributor, then auth,
+	// with everything else an order of magnitude smaller.
+	if !(ig > auth && auth > 10*misc && misc > fork) {
+		t.Errorf("breakdown ordering violated: %v", res.Phases)
+	}
+}
+
+func TestFigure4LinearInSubjobs(t *testing.T) {
+	res := Figure4(64, []int{1, 2, 4, 8, 16, 25})
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Monotonically increasing in subjob count.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Measured <= res.Rows[i-1].Measured {
+			t.Errorf("not increasing: %d subjobs %v vs %d subjobs %v",
+				res.Rows[i].Subjobs, res.Rows[i].Measured,
+				res.Rows[i-1].Subjobs, res.Rows[i-1].Measured)
+		}
+	}
+	// Linear: the fitted model tracks every point within 10%.
+	for _, row := range res.Rows {
+		diff := row.Measured - row.Synthetic
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.1*float64(row.Measured) {
+			t.Errorf("%d subjobs: measured %v vs model %v (>10%% off linear)",
+				row.Subjobs, row.Measured, row.Synthetic)
+		}
+	}
+	// Pipelining: 25 subjobs cost well below zero-concurrency (paper: 44% less).
+	if res.PipelineSaving < 0.20 || res.PipelineSaving > 0.60 {
+		t.Errorf("pipeline saving = %.0f%%, want 20-60%% (paper: 44%%)", res.PipelineSaving*100)
+	}
+	// Average barrier wait approximately half the total.
+	if res.MeanWaitRatio < 0.35 || res.MeanWaitRatio > 0.65 {
+		t.Errorf("mean wait ratio = %.2f, want ~0.5", res.MeanWaitRatio)
+	}
+	// The shortest wait is always (nearly) zero.
+	if res.MinWaitMax > 50*time.Millisecond {
+		t.Errorf("largest minimum barrier wait = %v, want ~0", res.MinWaitMax)
+	}
+}
+
+func TestFigure4FlatInProcessCount(t *testing.T) {
+	rows := Figure4Flat(4, []int{8, 16, 32, 64})
+	base := rows[0].Measured
+	for _, row := range rows {
+		if row.Measured != base {
+			t.Errorf("4 subjobs with %d procs = %v, differs from %v (paper: independent of processes)",
+				row.Processes, row.Measured, base)
+		}
+	}
+}
+
+func TestFigure5TimelineShowsPipelinedPhases(t *testing.T) {
+	out := Figure5(4, 16)
+	for _, phase := range []string{"authentication", "initgroups", "fork", "submit", "startup-wait", "barrier"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("timeline lacks phase %q:\n%s", phase, out)
+		}
+	}
+	for _, sj := range []string{"sj0", "sj1", "sj2", "sj3"} {
+		if !strings.Contains(out, sj) {
+			t.Errorf("timeline lacks subjob %q", sj)
+		}
+	}
+}
+
+func TestAtomicVsInteractive(t *testing.T) {
+	res := AtomicVsInteractive(3, 2*time.Minute, []float64{0, 0.35}, 3, 11)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	noFail, withFail := res.Rows[0], res.Rows[1]
+	if noFail.AtomicRestarts != 0 || noFail.Substitutions != 0 {
+		t.Errorf("p=0 row has restarts/substitutions: %+v", noFail)
+	}
+	// Without failures the strategies cost about the same.
+	ratio := float64(noFail.AtomicTime) / float64(noFail.InteractiveTime)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("p=0 atomic/interactive = %.2f, want ~1", ratio)
+	}
+	// With failures, atomic restarts make it strictly slower — the
+	// paper's core claim.
+	if withFail.AtomicRestarts == 0 {
+		t.Skip("no failures drawn at p=0.35 in this seed; increase trials")
+	}
+	if withFail.AtomicTime <= withFail.InteractiveTime {
+		t.Errorf("atomic %v not slower than interactive %v despite %0.1f restarts",
+			withFail.AtomicTime, withFail.InteractiveTime, withFail.AtomicRestarts)
+	}
+}
+
+func TestBigRunConfiguresAroundFailures(t *testing.T) {
+	res := BigRun(5)
+	if res.RequestedPE != 1386 {
+		t.Fatalf("requested PE = %d, want 1386", res.RequestedPE)
+	}
+	if res.StartTime == 0 {
+		t.Fatalf("big run failed to start: %v", res.Narrative)
+	}
+	// Three induced failures, two spares: two substitutions, one drop.
+	if res.Substitutions != 2 {
+		t.Errorf("substitutions = %d, want 2", res.Substitutions)
+	}
+	if res.Deleted != 1 {
+		t.Errorf("deleted = %d, want 1", res.Deleted)
+	}
+	if res.Subjobs != 12 {
+		t.Errorf("committed subjobs = %d, want 12", res.Subjobs)
+	}
+	if res.CommittedPE < 1386-256 || res.CommittedPE >= 1386 {
+		t.Errorf("committed PE = %d", res.CommittedPE)
+	}
+	if len(res.Narrative) < 3 {
+		t.Errorf("narrative too short: %v", res.Narrative)
+	}
+}
+
+func TestOverProvisionSweep(t *testing.T) {
+	res := OverProvisionSweep(2, 6, []float64{1, 2}, []float64{0}, 3, 21)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	exact, over := res.Rows[0], res.Rows[1]
+	if exact.SuccessRate < 1 || over.SuccessRate < 1 {
+		t.Errorf("success rates = %v / %v, want 1", exact.SuccessRate, over.SuccessRate)
+	}
+	// Requesting twice as many candidates and committing to the first 2
+	// must not be slower than committing to exactly 2 chosen by forecast.
+	if over.MeanCommit > exact.MeanCommit {
+		t.Errorf("over-provisioned commit %v slower than exact %v", over.MeanCommit, exact.MeanCommit)
+	}
+}
+
+func TestForecastQualityMatters(t *testing.T) {
+	res := OverProvisionSweep(2, 8, []float64{1}, []float64{0, 8}, 4, 31)
+	oracle, blind := res.Rows[0], res.Rows[1]
+	if oracle.MeanCommit > blind.MeanCommit {
+		t.Errorf("oracle forecasts (%v) slower than blind selection (%v)",
+			oracle.MeanCommit, blind.MeanCommit)
+	}
+}
+
+func TestStalenessSweep(t *testing.T) {
+	res := StalenessSweep(2, 8, []time.Duration{0, 2 * time.Hour}, 5, 17)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	fresh, stale := res.Rows[0], res.Rows[1]
+	if fresh.MeanCommit <= 0 || stale.MeanCommit <= 0 {
+		t.Fatalf("degenerate commits: %+v", res.Rows)
+	}
+	// Fresh information must not be worse than two-hour-old information.
+	if fresh.MeanCommit > stale.MeanCommit {
+		t.Errorf("fresh info (%v) worse than stale info (%v)", fresh.MeanCommit, stale.MeanCommit)
+	}
+}
+
+func TestSubmissionAblation(t *testing.T) {
+	rows := SubmissionAblation(64, []int{1, 8})
+	if rows[0].Sequential != rows[0].Parallel {
+		t.Errorf("single subjob differs: %v vs %v", rows[0].Sequential, rows[0].Parallel)
+	}
+	if rows[1].Parallel != rows[0].Parallel {
+		t.Errorf("parallel submission not flat: %v vs %v", rows[1].Parallel, rows[0].Parallel)
+	}
+	if rows[1].Speedup < 3 {
+		t.Errorf("speedup at 8 subjobs = %.2f, want > 3", rows[1].Speedup)
+	}
+}
+
+func TestBestEffortVsReservationCrossover(t *testing.T) {
+	res := BestEffortVsReservation(3, []float64{0.3, 0.85}, 3, 9)
+	light, heavy := res.Rows[0], res.Rows[1]
+	if heavy.BestEffort <= light.BestEffort {
+		t.Errorf("best-effort at rho 0.85 (%v) not above rho 0.3 (%v)",
+			heavy.BestEffort, light.BestEffort)
+	}
+	// The reserved start is load-independent.
+	if light.Reserved != heavy.Reserved {
+		t.Errorf("reserved start varies with load: %v vs %v", light.Reserved, heavy.Reserved)
+	}
+	// At heavy load the reservation must win.
+	if heavy.BestEffort <= heavy.Reserved {
+		t.Errorf("reservation did not win at rho 0.85: best-effort %v vs reserved %v",
+			heavy.BestEffort, heavy.Reserved)
+	}
+}
+
+func TestWideAreaBarrierShareStable(t *testing.T) {
+	rows := WideAreaStudy(4, 16, []time.Duration{time.Millisecond, 100 * time.Millisecond})
+	lan, wan := rows[0], rows[1]
+	if wan.Total <= lan.Total {
+		t.Errorf("wide-area total %v not above LAN total %v", wan.Total, lan.Total)
+	}
+	// The barrier's share of the total stays in the same band: latency
+	// does not make synchronization the bottleneck.
+	if diff := wan.BarrierShare - lan.BarrierShare; diff > 0.15 || diff < -0.15 {
+		t.Errorf("barrier share moved from %.2f to %.2f with latency", lan.BarrierShare, wan.BarrierShare)
+	}
+	if wan.BarrierShare > 0.6 {
+		t.Errorf("barrier dominates in the wide area (share %.2f)", wan.BarrierShare)
+	}
+}
+
+func TestCoReservationStudy(t *testing.T) {
+	res := CoReservationStudy(3)
+	// sp2 is fully reserved until 2h and sp3 holds 48/64 during
+	// [90m,150m): the earliest common hour-long window starts at 2.5h.
+	if res.NegotiatedStart != 150*time.Minute {
+		t.Errorf("negotiated start = %v, want 2h30m", res.NegotiatedStart)
+	}
+	if res.WorldSize != 128 {
+		t.Errorf("world size = %d, want 128", res.WorldSize)
+	}
+	if len(res.Releases) != 128 {
+		t.Errorf("%d processes released, want 128", len(res.Releases))
+	}
+	if res.Spread > time.Second {
+		t.Errorf("release spread = %v, want simultaneous start", res.Spread)
+	}
+	for _, at := range res.Releases {
+		if at < res.NegotiatedStart {
+			t.Errorf("process released at %v, before the window", at)
+		}
+	}
+}

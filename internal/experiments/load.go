@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/metrics"
+	"cogrid/internal/reservation"
+	"cogrid/internal/workload"
+)
+
+// --- R2: best-effort co-allocation vs co-reservation under load ---
+
+// LoadRow aggregates one utilization setting.
+type LoadRow struct {
+	Rho            float64       // offered background load per machine
+	BestEffort     time.Duration // mean time from decision to committed start
+	BestEffortP95  time.Duration
+	Reserved       time.Duration // mean time from decision to reserved start
+	Trials         int
+	BestEffortWins int // trials where best effort beat the reservation
+}
+
+// LoadResult is the R2 study.
+type LoadResult struct {
+	Machines int
+	Rows     []LoadRow
+}
+
+// BestEffortVsReservation quantifies the paper's closing argument: the
+// co-allocation mechanisms "do not address the problem of ensuring that a
+// given co-allocation request will succeed — for this, some form of
+// advance reservation will ultimately be required" (Section 5).
+//
+// Machines carry synthetic batch workloads at offered load rho. A
+// three-machine co-allocation submitted best-effort waits for all three
+// queues at once; the same request made through co-reservation starts at
+// the negotiated window regardless of load (reservations take priority
+// over the best-effort queue in this model — the GARA-style guarantee).
+// As rho grows, best-effort time diverges while the reserved start stays
+// flat, crossing over at moderate load.
+func BestEffortVsReservation(machines int, rhos []float64, trials int, seed int64) LoadResult {
+	res := LoadResult{Machines: machines}
+	for _, rho := range rhos {
+		row := LoadRow{Rho: rho, Trials: trials}
+		var be, rv []float64
+		for trial := 0; trial < trials; trial++ {
+			tseed := seed + int64(trial)*65537 + int64(rho*1000)
+			beT := loadTrial(machines, rho, tseed, false)
+			rvT := loadTrial(machines, rho, tseed, true)
+			be = append(be, beT.Seconds())
+			rv = append(rv, rvT.Seconds())
+			if beT < rvT {
+				row.BestEffortWins++
+			}
+		}
+		bs, rs := metrics.Summarize(be), metrics.Summarize(rv)
+		row.BestEffort = time.Duration(bs.Mean * float64(time.Second))
+		row.BestEffortP95 = time.Duration(bs.P95 * float64(time.Second))
+		row.Reserved = time.Duration(rs.Mean * float64(time.Second))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// loadTrial measures time from the decision instant to a running
+// co-allocation, with or without reservations.
+func loadTrial(machines int, rho float64, seed int64, reserved bool) time.Duration {
+	const (
+		machineSize = 64
+		needPerSite = 32
+		decisionAt  = 4 * time.Hour
+		horizon     = 16 * time.Hour
+		bookAhead   = 15 * time.Minute // operator books the window slightly ahead
+	)
+	g := grid.New(grid.Options{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	model := workload.ForLoad(rho, machineSize, 10*time.Minute, 2*time.Hour)
+
+	names := make([]string, machines)
+	for i := range names {
+		names[i] = fmt.Sprintf("site%02d", i)
+		m := g.AddMachine(names[i], machineSize, lrm.Batch)
+		workload.RegisterExecutable(m, "bg")
+		workload.Drive(g.Sim, m, "bg", model.Generate(rng, horizon))
+	}
+	g.RegisterEverywhere("app", barrierApp(0))
+	ctrl := newController(g)
+
+	var elapsed time.Duration
+	err := g.Sim.Run("agent", func() {
+		g.Sim.SleepUntil(decisionAt)
+		if reserved {
+			var parts []reservation.Participant
+			for _, name := range names {
+				parts = append(parts, reservation.Participant{Contact: g.Contact(name), Count: needPerSite})
+			}
+			cr, err := reservation.CoReserve(g.Workstation, g.ClientConfig(), parts,
+				reservation.Options{Duration: time.Hour, Earliest: decisionAt + bookAhead})
+			if err != nil {
+				panic(fmt.Sprintf("co-reserve: %v", err))
+			}
+			req := cr.Request("app", g.Sim.Now(), 30*time.Minute)
+			job, err := ctrl.Submit(req)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := job.Commit(0); err != nil {
+				panic(fmt.Sprintf("reserved commit: %v", err))
+			}
+			elapsed = g.Sim.Now() - decisionAt
+			job.Kill()
+			cr.Close()
+			return
+		}
+		var req core.Request
+		for i, name := range names {
+			req.Subjobs = append(req.Subjobs, core.SubjobSpec{
+				Label: fmt.Sprintf("w%d", i), Contact: g.Contact(name), Count: needPerSite,
+				Executable: "app", Type: core.Required, StartupTimeout: 24 * time.Hour,
+			})
+		}
+		job, err := ctrl.Submit(req)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := job.Commit(0); err != nil {
+			panic(fmt.Sprintf("best-effort commit: %v", err))
+		}
+		elapsed = g.Sim.Now() - decisionAt
+		job.Kill()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return elapsed
+}
+
+// Table renders the study.
+func (r LoadResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("R2: best-effort co-allocation vs co-reservation, %d machines under load", r.Machines),
+		"rho", "best-effort mean", "best-effort p95", "reserved start", "best-effort wins")
+	for _, row := range r.Rows {
+		t.Add(row.Rho, row.BestEffort, row.BestEffortP95, row.Reserved,
+			fmt.Sprintf("%d/%d", row.BestEffortWins, row.Trials))
+	}
+	return t
+}

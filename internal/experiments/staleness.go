@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/mds"
+	"cogrid/internal/metrics"
+	"cogrid/internal/transport"
+)
+
+// --- S2: information staleness (Section 2.2, reference [14]) ---
+
+// StalenessRow aggregates one information-age setting.
+type StalenessRow struct {
+	Age        time.Duration // how old the published records are at decision time
+	MeanCommit time.Duration
+	P95Commit  time.Duration
+	Trials     int
+}
+
+// StalenessResult is the S2 study.
+type StalenessResult struct {
+	Needed   int
+	PoolSize int
+	Rows     []StalenessRow
+}
+
+// StalenessSweep reproduces the claim the paper takes from [14]: selecting
+// resources from published load information "can be effective if there is
+// a minimum period of time over which load information remains valid".
+//
+// Machines run churning batch loads (a new full-machine job with a random
+// limit whenever the previous finishes). The agent selects the Needed
+// machines with the best *published* forecasts, but the records it reads
+// were published Age ago — by which time the loads have changed. Older
+// information yields worse selections and longer times to commit.
+func StalenessSweep(needed, poolSize int, ages []time.Duration, trials int, seed int64) StalenessResult {
+	res := StalenessResult{Needed: needed, PoolSize: poolSize}
+	for _, age := range ages {
+		row := StalenessRow{Age: age, Trials: trials}
+		var commits []float64
+		for trial := 0; trial < trials; trial++ {
+			d := stalenessTrial(needed, poolSize, age, seed+int64(trial)*104729)
+			commits = append(commits, d.Seconds())
+		}
+		s := metrics.Summarize(commits)
+		row.MeanCommit = time.Duration(s.Mean * float64(time.Second))
+		row.P95Commit = time.Duration(s.P95 * float64(time.Second))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func stalenessTrial(needed, poolSize int, age time.Duration, seed int64) time.Duration {
+	const machineSize = 32
+	// Decision time: late enough that initial conditions have churned.
+	const decisionAt = 6 * time.Hour
+	g := grid.New(grid.Options{Seed: seed})
+
+	names := make([]string, poolSize)
+	for i := range names {
+		names[i] = fmt.Sprintf("ch%02d", i)
+		m := g.AddMachine(names[i], machineSize, lrm.Batch)
+		m.RegisterExecutable("bg", func(p *lrm.Proc) error {
+			return p.Work(48*time.Hour, time.Minute) // bounded by its limit
+		})
+	}
+	g.RegisterEverywhere("app", barrierApp(0))
+
+	// Churn daemons: every machine alternates random full-machine loads.
+	for _, name := range names {
+		m := g.Machine(name)
+		g.Sim.GoDaemon("churn:"+name, func() {
+			for {
+				// Sim.RandIntn is mutex-protected: churn daemons draw
+				// concurrently. Long jobs keep information valid longer,
+				// making the staleness effect visible above trial noise.
+				limit := time.Duration(20+g.Sim.RandIntn(140)) * time.Minute
+				job, err := m.Submit(lrm.JobSpec{Executable: "bg", Count: machineSize, TimeLimit: limit})
+				if err != nil {
+					return
+				}
+				job.Done().Wait()
+			}
+		})
+	}
+
+	// Snapshot the records at decisionAt-age: this is what the directory
+	// will still be serving at decision time.
+	var snapshot []mds.Record
+	g.Sim.AfterFunc(decisionAt-age, func() {
+		for _, name := range names {
+			snapshot = append(snapshot, mds.RecordFor(g.Machine(name), g.Contact(name), machineSize))
+		}
+	})
+
+	ctrl := newController(g)
+	var commit time.Duration
+	err := g.Sim.Run("agent", func() {
+		g.Sim.SleepUntil(decisionAt)
+		chosen := agent.SelectByForecast(snapshot, machineSize, needed, 0, g.Sim.RandNorm)
+		var req core.Request
+		for i, rec := range chosen {
+			contact, err := transport.ParseAddr(rec.Contact)
+			if err != nil {
+				panic(err)
+			}
+			req.Subjobs = append(req.Subjobs, core.SubjobSpec{
+				Label: fmt.Sprintf("w%d", i), Contact: contact, Count: machineSize,
+				Executable: "app", Type: core.Required, StartupTimeout: 12 * time.Hour,
+			})
+		}
+		job, err := ctrl.Submit(req)
+		if err != nil {
+			panic(err)
+		}
+		start := g.Sim.Now()
+		if _, err := job.Commit(0); err != nil {
+			panic(fmt.Sprintf("staleness trial commit: %v", err))
+		}
+		commit = g.Sim.Now() - start
+		job.Kill()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return commit
+}
+
+// Table renders the sweep.
+func (r StalenessResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("S2: co-allocation time vs load-information age (%d of %d machines)", r.Needed, r.PoolSize),
+		"info age", "mean time-to-commit", "p95")
+	for _, row := range r.Rows {
+		t.Add(row.Age, row.MeanCommit, row.P95Commit)
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/mds"
+	"cogrid/internal/metrics"
+	"cogrid/internal/transport"
+)
+
+// --- S1: over-provisioning and forecast quality (Section 2.2) ---
+
+// OverProvisionRow aggregates one (factor, sigma) setting.
+type OverProvisionRow struct {
+	Factor      float64 // candidates requested / subjobs needed
+	Sigma       float64 // forecast noise (0 = oracle)
+	MeanCommit  time.Duration
+	P95Commit   time.Duration
+	SuccessRate float64
+	Trials      int
+}
+
+// OverProvisionResult is the S1 sweep.
+type OverProvisionResult struct {
+	Needed   int
+	PoolSize int
+	Rows     []OverProvisionRow
+}
+
+// OverProvisionSweep quantifies the Section 2.2 strategies: a co-allocator
+// that consults queue-wait forecasts can pick lightly loaded machines, and
+// one that requests more resources than it needs and commits to the first
+// K that become available tolerates both load and forecast error.
+//
+// Every machine runs a batch queue occupied by a background job of random
+// remaining duration. The agent queries the directory, selects candidates
+// by published forecast (perturbed by sigma), over-provisions by the given
+// factor, and commits to the first Needed subjobs that reach the barrier.
+func OverProvisionSweep(needed, poolSize int, factors, sigmas []float64, trials int, seed int64) OverProvisionResult {
+	res := OverProvisionResult{Needed: needed, PoolSize: poolSize}
+	for _, factor := range factors {
+		for _, sigma := range sigmas {
+			row := OverProvisionRow{Factor: factor, Sigma: sigma, Trials: trials}
+			var commits []float64
+			for trial := 0; trial < trials; trial++ {
+				d, ok := overProvisionTrial(needed, poolSize, factor, sigma,
+					seed+int64(trial)*7919+int64(factor*100)+int64(sigma*10))
+				if ok {
+					commits = append(commits, d.Seconds())
+				}
+			}
+			row.SuccessRate = float64(len(commits)) / float64(trials)
+			if len(commits) > 0 {
+				s := metrics.Summarize(commits)
+				row.MeanCommit = time.Duration(s.Mean * float64(time.Second))
+				row.P95Commit = time.Duration(s.P95 * float64(time.Second))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+func overProvisionTrial(needed, poolSize int, factor, sigma float64, seed int64) (time.Duration, bool) {
+	const machineSize = 64
+	g := grid.New(grid.Options{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+
+	dirHost := g.Net.AddHost("mds0")
+	if _, err := mds.NewServer(dirHost, 0); err != nil {
+		panic(err)
+	}
+	dir := transport.Addr{Host: "mds0", Service: mds.ServiceName}
+
+	names := make([]string, poolSize)
+	for i := range names {
+		names[i] = fmt.Sprintf("bq%02d", i)
+		m := g.AddMachine(names[i], machineSize, lrm.Batch)
+		m.RegisterExecutable("bg", func(p *lrm.Proc) error {
+			return p.Work(24*time.Hour, time.Minute) // killed by its limit
+		})
+	}
+	g.RegisterEverywhere("app", barrierApp(0))
+
+	ctrl := newController(g)
+	var commitAt time.Duration
+	ok := false
+	err := g.Sim.Run("agent", func() {
+		// Occupy each machine with a background job whose wall limit (its
+		// actual remaining time) is uniform in [0, 2h).
+		for _, name := range names {
+			limit := time.Duration(rng.Float64() * float64(2*time.Hour))
+			if limit < time.Minute {
+				limit = time.Minute
+			}
+			if _, err := g.Machine(name).Submit(lrm.JobSpec{
+				Executable: "bg", Count: machineSize, TimeLimit: limit,
+			}); err != nil {
+				panic(err)
+			}
+		}
+		// Publish every machine's record with a forecast for full-machine
+		// jobs, then query the directory as the agent would.
+		for _, name := range names {
+			client, err := mds.Dial(g.Machine(name).Host(), dir)
+			if err != nil {
+				panic(err)
+			}
+			client.Register(mds.RecordFor(g.Machine(name), g.Contact(name), machineSize))
+			client.Close()
+		}
+		dirClient, err := mds.Dial(g.Workstation, dir)
+		if err != nil {
+			panic(err)
+		}
+		records, err := dirClient.Query(mds.Filter{MinProcessors: machineSize})
+		dirClient.Close()
+		if err != nil {
+			panic(err)
+		}
+
+		nCandidates := int(factor*float64(needed) + 0.5)
+		if nCandidates > len(records) {
+			nCandidates = len(records)
+		}
+		chosen := agent.SelectByForecast(records, machineSize, nCandidates, sigma, g.Sim.RandNorm)
+		var req core.Request
+		for i, rec := range chosen {
+			contact, err := transport.ParseAddr(rec.Contact)
+			if err != nil {
+				panic(err)
+			}
+			req.Subjobs = append(req.Subjobs, core.SubjobSpec{
+				Label: fmt.Sprintf("w%d", i), Contact: contact, Count: machineSize,
+				Executable: "app", StartupTimeout: 5 * time.Hour,
+			})
+		}
+		start := g.Sim.Now()
+		out, err := agent.OverProvision(ctrl, req, agent.OverProvisionOptions{
+			Needed:        needed,
+			CommitTimeout: 5 * time.Hour,
+		})
+		if err != nil {
+			return
+		}
+		commitAt = g.Sim.Now() - start
+		ok = true
+		out.Job.Kill()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return commitAt, ok
+}
+
+// Table renders the sweep.
+func (r OverProvisionResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("S1: over-provisioning and forecast quality (%d of %d machines needed)", r.Needed, r.PoolSize),
+		"factor", "sigma", "mean time-to-commit", "p95", "success")
+	for _, row := range r.Rows {
+		t.Add(row.Factor, row.Sigma, row.MeanCommit, row.P95Commit,
+			fmt.Sprintf("%.0f%%", row.SuccessRate*100))
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package failure_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cogrid/internal/failure"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+)
+
+func TestApplySchedulesActions(t *testing.T) {
+	g := grid.New(grid.Options{})
+	g.AddMachine("m1", 8, lrm.Fork)
+	g.AddMachine("m2", 8, lrm.Fork)
+	plan := failure.Plan{
+		{At: 10 * time.Second, Kind: failure.MachineDown, Target: "m1"},
+		{At: 20 * time.Second, Kind: failure.MachineUp, Target: "m1"},
+		{At: 30 * time.Second, Kind: failure.MachineSlow, Target: "m2", Factor: 5},
+		{At: 40 * time.Second, Kind: failure.HostHang, Target: "m2"},
+		{At: 50 * time.Second, Kind: failure.HostRestore, Target: "m2"},
+		{At: 60 * time.Second, Kind: failure.Partition, Target: "workstation", Target2: "m1"},
+		{At: 70 * time.Second, Kind: failure.Heal, Target: "workstation", Target2: "m1"},
+		{At: 80 * time.Second, Kind: failure.RevokeUser, Target: grid.DefaultUser},
+		{At: 90 * time.Second, Kind: failure.ReinstateUser, Target: grid.DefaultUser},
+	}
+	plan.Apply(g)
+	m1 := g.Machine("m1")
+	g.RegisterEverywhere("noop", func(p *lrm.Proc) error { return nil })
+	err := g.Sim.Run("main", func() {
+		g.Sim.SleepUntil(15 * time.Second)
+		if _, err := m1.Submit(lrm.JobSpec{Executable: "noop", Count: 1}); err == nil {
+			t.Error("submit succeeded while machine down")
+		}
+		g.Sim.SleepUntil(25 * time.Second)
+		if _, err := m1.Submit(lrm.JobSpec{Executable: "noop", Count: 1}); err != nil {
+			t.Errorf("submit after machine-up: %v", err)
+		}
+		g.Sim.SleepUntil(45 * time.Second)
+		if g.Net.Host("m2").Up() {
+			t.Error("m2 not hung at t=45s")
+		}
+		g.Sim.SleepUntil(55 * time.Second)
+		if !g.Net.Host("m2").Up() {
+			t.Error("m2 not restored at t=55s")
+		}
+		g.Sim.SleepUntil(65 * time.Second)
+		if !g.Net.Partitioned("workstation", "m1") {
+			t.Error("partition not applied")
+		}
+		g.Sim.SleepUntil(75 * time.Second)
+		if g.Net.Partitioned("workstation", "m1") {
+			t.Error("partition not healed")
+		}
+		g.Sim.SleepUntil(95 * time.Second)
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestCrashIsTerminal(t *testing.T) {
+	g := grid.New(grid.Options{})
+	g.AddMachine("victim", 8, lrm.Fork)
+	failure.Plan{{At: time.Second, Kind: failure.HostCrash, Target: "victim"}}.Apply(g)
+	err := g.Sim.Run("main", func() {
+		g.Sim.SleepUntil(2 * time.Second)
+		if g.Net.Host("victim").Up() {
+			t.Error("victim up after crash")
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSortedOrdersByTime(t *testing.T) {
+	p := failure.Plan{
+		{At: 30 * time.Second, Kind: failure.HostCrash, Target: "c"},
+		{At: 10 * time.Second, Kind: failure.HostCrash, Target: "a"},
+		{At: 20 * time.Second, Kind: failure.HostCrash, Target: "b"},
+	}
+	s := p.Sorted()
+	if s[0].Target != "a" || s[1].Target != "b" || s[2].Target != "c" {
+		t.Fatalf("sorted = %v", s)
+	}
+	// Original untouched.
+	if p[0].Target != "c" {
+		t.Fatal("Sorted mutated the plan")
+	}
+}
+
+func TestRandomPlanDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) failure.Plan {
+		g := grid.New(grid.Options{Seed: seed})
+		targets := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		return failure.RandomPlan(g, failure.RandomOptions{
+			Targets:   targets,
+			Window:    time.Hour,
+			CrashProb: 0.3,
+			HangProb:  0.2,
+			SlowProb:  0.2,
+		})
+	}
+	p1, p2 := mk(42), mk(42)
+	if len(p1) != len(p2) {
+		t.Fatalf("same seed, different plan lengths: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+	p3 := mk(43)
+	same := len(p1) == len(p3)
+	if same {
+		for i := range p1 {
+			if p1[i] != p3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(p1) > 0 {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	a := failure.Action{At: time.Second, Kind: failure.Partition, Target: "a", Target2: "b"}
+	if !strings.Contains(a.String(), "a<->b") {
+		t.Errorf("String = %q", a.String())
+	}
+	s := failure.Action{At: time.Second, Kind: failure.MachineSlow, Target: "m", Factor: 2.5}
+	if !strings.Contains(s.String(), "x2.5") {
+		t.Errorf("String = %q", s.String())
+	}
+}

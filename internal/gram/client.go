@@ -1,0 +1,176 @@
+package gram
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/gsi"
+	"cogrid/internal/lrm"
+	"cogrid/internal/rpc"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// CallTimeout bounds individual GRAM calls. Submissions include
+// initgroups and local-manager work, so this is generous.
+const CallTimeout = 5 * time.Minute
+
+// Client is an authenticated connection to one gatekeeper.
+type Client struct {
+	sim    *vtime.Sim
+	rpcc   *rpc.Client
+	peer   string
+	events *vtime.Chan[StateEvent]
+}
+
+// ClientConfig configures dialing a gatekeeper.
+type ClientConfig struct {
+	Credential gsi.Credential
+	Registry   *gsi.Registry
+	AuthCost   gsi.CostModel // zero value replaced by gsi.DefaultCost
+}
+
+// Dial connects to a gatekeeper and performs mutual authentication. The
+// returned client carries the job-state callback stream for jobs submitted
+// on this connection.
+func Dial(from *transport.Host, contact transport.Addr, cfg ClientConfig) (*Client, error) {
+	if cfg.AuthCost == (gsi.CostModel{}) {
+		cfg.AuthCost = gsi.DefaultCost
+	}
+	sim := from.Network().Sim()
+	conn, err := from.Dial(contact)
+	if err != nil {
+		return nil, fmt.Errorf("gram: dial %s: %w", contact, err)
+	}
+	peer, err := gsi.ClientHandshake(sim, conn, cfg.Credential, cfg.Registry, cfg.AuthCost)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gram: authenticate to %s: %w", contact, err)
+	}
+	c := &Client{
+		sim:    sim,
+		rpcc:   rpc.NewClient(sim, conn),
+		peer:   peer,
+		events: vtime.NewChan[StateEvent](sim, "gram-events:"+contact.String(), 64),
+	}
+	sim.GoDaemon("gram-client-events:"+contact.String(), c.pump)
+	return c, nil
+}
+
+// pump converts raw notifications into typed state events.
+func (c *Client) pump() {
+	for {
+		n, ok := c.rpcc.Notifications().Recv()
+		if !ok {
+			c.events.Close()
+			return
+		}
+		if n.Method != "job-state" {
+			continue
+		}
+		var ev StateEvent
+		if n.Decode(&ev) == nil {
+			c.events.TrySend(ev)
+		}
+	}
+}
+
+// Peer returns the authenticated gatekeeper identity.
+func (c *Client) Peer() string { return c.peer }
+
+// Events returns the job-state callback stream for this connection. The
+// channel closes when the connection does.
+func (c *Client) Events() *vtime.Chan[StateEvent] { return c.events }
+
+// Close tears down the connection; callbacks stop flowing.
+func (c *Client) Close() { c.rpcc.Close() }
+
+// Submit submits an RSL job specification and returns its job contact.
+// The call returns after the gatekeeper has authenticated the request,
+// resolved groups, and created (fork mode) or queued (batch mode) the job.
+func (c *Client) Submit(rslSrc string) (string, error) {
+	var reply submitReply
+	if err := c.rpcc.Call("submit", submitArgs{RSL: rslSrc}, &reply, CallTimeout); err != nil {
+		return "", err
+	}
+	return reply.JobContact, nil
+}
+
+// Cancel kills the job with the given contact.
+func (c *Client) Cancel(contact string) error {
+	return c.rpcc.Call("cancel", contactArgs{JobContact: contact}, nil, CallTimeout)
+}
+
+// Suspend pauses the job's processes.
+func (c *Client) Suspend(contact string) error {
+	return c.rpcc.Call("signal", signalArgs{JobContact: contact, Signal: "suspend"}, nil, CallTimeout)
+}
+
+// Resume continues a suspended job.
+func (c *Client) Resume(contact string) error {
+	return c.rpcc.Call("signal", signalArgs{JobContact: contact, Signal: "resume"}, nil, CallTimeout)
+}
+
+// Status polls a job's state.
+func (c *Client) Status(contact string) (lrm.JobState, string, error) {
+	var reply statusReply
+	if err := c.rpcc.Call("status", contactArgs{JobContact: contact}, &reply, CallTimeout); err != nil {
+		return 0, "", err
+	}
+	return reply.State, reply.Reason, nil
+}
+
+// QueueInfo fetches the machine's published scheduler state.
+func (c *Client) QueueInfo() (lrm.QueueInfo, error) {
+	var reply lrm.QueueInfo
+	err := c.rpcc.Call("queueinfo", nil, &reply, CallTimeout)
+	return reply, err
+}
+
+// EstimateWait fetches the machine's queue-wait forecast for a job of the
+// given size.
+func (c *Client) EstimateWait(count int) (time.Duration, error) {
+	var reply struct {
+		Wait time.Duration `json:"wait"`
+	}
+	err := c.rpcc.Call("estimatewait", struct {
+		Count int `json:"count"`
+	}{Count: count}, &reply, CallTimeout)
+	return reply.Wait, err
+}
+
+// Reservation is a remotely held advance reservation.
+type Reservation struct {
+	ID    string
+	Start time.Duration
+	End   time.Duration
+	Count int
+}
+
+// Reserve books count processors for [start, start+duration) — the
+// reservation extension the paper's Section 5 identifies as future work.
+func (c *Client) Reserve(count int, start, duration time.Duration) (Reservation, error) {
+	var reply reserveReply
+	err := c.rpcc.Call("reserve", reserveArgs{Count: count, Start: start, Duration: duration}, &reply, CallTimeout)
+	if err != nil {
+		return Reservation{}, err
+	}
+	return Reservation{ID: reply.ID, Start: reply.Start, End: reply.End, Count: reply.Count}, nil
+}
+
+// CancelReservation releases a reservation.
+func (c *Client) CancelReservation(id string) error {
+	return c.rpcc.Call("cancelreservation", struct {
+		ID string `json:"id"`
+	}{ID: id}, nil, CallTimeout)
+}
+
+// EarliestSlot queries when count processors could next be reserved for
+// duration, at or after notBefore.
+func (c *Client) EarliestSlot(count int, duration, notBefore time.Duration) (time.Duration, error) {
+	var reply struct {
+		Start time.Duration `json:"start"`
+	}
+	err := c.rpcc.Call("earliestslot", slotArgs{Count: count, Duration: duration, NotBefore: notBefore}, &reply, CallTimeout)
+	return reply.Start, err
+}

@@ -1,0 +1,173 @@
+package gram
+
+import (
+	"testing"
+	"time"
+
+	"cogrid/internal/lrm"
+)
+
+func TestSignalSuspendResume(t *testing.T) {
+	tb := newTestbed(t, lrm.Fork)
+	err := tb.sim.Run("main", func() {
+		c := tb.dial(t)
+		defer c.Close()
+		contact, err := c.Submit(`&(executable=work)(count=2)`)
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		tb.sim.Sleep(time.Second)
+		if err := c.Suspend(contact); err != nil {
+			t.Errorf("Suspend: %v", err)
+			return
+		}
+		state, _, err := c.Status(contact)
+		if err != nil || state != lrm.StateSuspended {
+			t.Errorf("Status = %v, %v; want SUSPENDED", state, err)
+		}
+		if ev, ok := waitForState(c, lrm.StateSuspended); !ok {
+			t.Error("no SUSPENDED callback")
+		} else if ev.Contact != contact {
+			t.Errorf("callback contact = %q", ev.Contact)
+		}
+		if err := c.Resume(contact); err != nil {
+			t.Errorf("Resume: %v", err)
+			return
+		}
+		if _, ok := waitForState(c, lrm.StateDone); !ok {
+			t.Error("job never finished after resume")
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSignalValidation(t *testing.T) {
+	tb := newTestbed(t, lrm.Fork)
+	err := tb.sim.Run("main", func() {
+		c := tb.dial(t)
+		defer c.Close()
+		if err := c.Suspend("origin:gram/404"); err == nil {
+			t.Error("Suspend of unknown contact succeeded")
+		}
+		contact, err := c.Submit(`&(executable=work)(count=1)`)
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		if err := c.Resume(contact); err == nil {
+			t.Error("Resume of running job succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestConcurrentSubmissionsOverlap(t *testing.T) {
+	// Separate connections to one gatekeeper process their pipelines
+	// concurrently (the real gatekeeper forks a handler per request);
+	// only DUROC's client-side sequencing serializes them.
+	tb := newTestbed(t, lrm.Fork)
+	const n = 6
+	var oneAt time.Duration
+	{
+		tbSolo := newTestbed(t, lrm.Fork)
+		err := tbSolo.sim.Run("solo", func() {
+			c := tbSolo.dial(t)
+			defer c.Close()
+			if _, err := c.Submit(`&(executable=work)(count=1)`); err != nil {
+				t.Errorf("solo Submit: %v", err)
+			}
+			oneAt = tbSolo.sim.Now()
+		})
+		if err != nil {
+			t.Fatalf("solo sim: %v", err)
+		}
+	}
+	done := 0
+	err := tb.sim.Run("main", func() {
+		results := make(chan error, n)
+		for i := 0; i < n; i++ {
+			tb.sim.Go("submitter", func() {
+				c := tb.dial(t)
+				defer c.Close()
+				_, err := c.Submit(`&(executable=work)(count=1)`)
+				results <- err
+			})
+		}
+		for i := 0; i < n; i++ {
+			// Drain results without blocking the kernel: poll with sleeps.
+			for {
+				select {
+				case err := <-results:
+					if err != nil {
+						t.Errorf("Submit: %v", err)
+					}
+					done++
+				default:
+					tb.sim.Sleep(100 * time.Millisecond)
+					continue
+				}
+				break
+			}
+		}
+		// Concurrent submissions cost barely more than one.
+		if tb.sim.Now() > oneAt+2*time.Second {
+			t.Errorf("%d concurrent submissions took %v; one takes %v", n, tb.sim.Now(), time.Duration(oneAt))
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if done != n {
+		t.Fatalf("%d of %d submissions completed", done, n)
+	}
+}
+
+func TestReservationRPCs(t *testing.T) {
+	tb := newTestbed(t, lrm.Batch)
+	err := tb.sim.Run("main", func() {
+		c := tb.dial(t)
+		defer c.Close()
+		slot, err := c.EarliestSlot(32, time.Hour, 10*time.Minute)
+		if err != nil {
+			t.Errorf("EarliestSlot: %v", err)
+			return
+		}
+		if slot != 10*time.Minute {
+			t.Errorf("slot = %v, want 10m (idle machine)", slot)
+		}
+		res, err := c.Reserve(64, slot, time.Hour)
+		if err != nil {
+			t.Errorf("Reserve: %v", err)
+			return
+		}
+		if res.Count != 64 || res.Start != slot || res.End != slot+time.Hour {
+			t.Errorf("reservation = %+v", res)
+		}
+		// The window is taken: the next full-machine slot moves past it.
+		slot2, err := c.EarliestSlot(64, time.Hour, 10*time.Minute)
+		if err != nil {
+			t.Errorf("EarliestSlot 2: %v", err)
+			return
+		}
+		if slot2 != res.End {
+			t.Errorf("slot2 = %v, want %v", slot2, res.End)
+		}
+		if _, err := c.Reserve(64, slot, time.Hour); err == nil {
+			t.Error("conflicting Reserve succeeded")
+		}
+		if err := c.CancelReservation(res.ID); err != nil {
+			t.Errorf("CancelReservation: %v", err)
+		}
+		if _, err := c.Reserve(64, slot, time.Hour); err != nil {
+			t.Errorf("Reserve after cancel: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}

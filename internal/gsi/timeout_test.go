@@ -1,0 +1,89 @@
+package gsi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+func TestClientHandshakeTimesOutAgainstSilentServer(t *testing.T) {
+	sim := vtime.New()
+	net := transport.New(sim, transport.UniformLatency(time.Millisecond))
+	a, b := net.AddHost("a"), net.AddHost("b")
+	reg := NewRegistry()
+	cred := reg.Issue("user/alice")
+	l, err := b.Listen("gk")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	// The server accepts but never speaks GSI.
+	sim.GoDaemon("mute-server", func() {
+		conn, ok := l.Accept()
+		if !ok {
+			return
+		}
+		conn.Recv() // swallow the hello and go silent
+		parked := vtime.NewChan[int](sim, "parked", 0)
+		parked.Recv()
+	})
+	err = sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "gk"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		start := sim.Now()
+		_, err = ClientHandshake(sim, conn, cred, reg, DefaultCost)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("handshake = %v, want ErrTimeout", err)
+		}
+		if took := sim.Now() - start; took < HandshakeTimeout {
+			t.Errorf("gave up after %v, want at least %v", took, HandshakeTimeout)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestServerHandshakeRejectsGarbage(t *testing.T) {
+	sim := vtime.New()
+	net := transport.New(sim, transport.UniformLatency(time.Millisecond))
+	a, b := net.AddHost("a"), net.AddHost("b")
+	reg := NewRegistry()
+	serverCred := reg.Issue("host/b")
+	l, err := b.Listen("gk")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	result := vtime.NewChan[error](sim, "result", 1)
+	sim.GoDaemon("server", func() {
+		conn, ok := l.Accept()
+		if !ok {
+			return
+		}
+		_, err := ServerHandshake(sim, conn, serverCred, reg, DefaultCost)
+		result.Send(err)
+	})
+	err = sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "gk"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		conn.Send([]byte(`{"kind":"not-gsi"}`))
+		err, _ = func() (error, bool) {
+			e, ok := result.Recv()
+			return e, ok
+		}()
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("server error = %v, want ErrProtocol", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}

@@ -1,0 +1,517 @@
+// Package lrm implements local resource managers: the per-machine
+// schedulers (LoadLeveler, PBS, NQE in the paper's related work) that GRAM
+// submits jobs to.
+//
+// A Machine runs in one of two modes. Fork mode starts processes
+// immediately — the configuration the paper's microbenchmarks used "to
+// eliminate any source of queuing delay". Batch mode runs a FCFS queue
+// with EASY backfill and wall-time limits, used by the application-scale
+// experiments. Machines also keep an advance-reservation table for the
+// co-reservation extension (the paper's §5 future work).
+package lrm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// Errors returned by machine operations.
+var (
+	ErrUnknownExecutable = errors.New("lrm: unknown executable")
+	ErrBadCount          = errors.New("lrm: process count must be positive")
+	ErrTooLarge          = errors.New("lrm: request exceeds machine size")
+	ErrMachineDown       = errors.New("lrm: machine is down")
+	ErrKilled            = errors.New("lrm: process killed")
+	ErrNoSuchJob         = errors.New("lrm: no such job")
+)
+
+// Mode selects the scheduling discipline.
+type Mode int
+
+const (
+	// Fork starts processes immediately, with no queueing.
+	Fork Mode = iota
+	// Batch queues jobs FCFS with EASY backfill.
+	Batch
+)
+
+func (m Mode) String() string {
+	if m == Fork {
+		return "fork"
+	}
+	return "batch"
+}
+
+// JobState is the lifecycle state of a job, mirroring GRAM's state machine.
+type JobState int
+
+const (
+	// StatePending means queued, not yet running.
+	StatePending JobState = iota
+	// StateActive means processes are running.
+	StateActive
+	// StateDone means all processes exited successfully.
+	StateDone
+	// StateFailed means a process failed or a limit was exceeded.
+	StateFailed
+	// StateCancelled means the job was killed on request.
+	StateCancelled
+	// StateSuspended means the job's processes are paused.
+	StateSuspended
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "PENDING"
+	case StateActive:
+		return "ACTIVE"
+	case StateDone:
+		return "DONE"
+	case StateFailed:
+		return "FAILED"
+	case StateCancelled:
+		return "CANCELLED"
+	case StateSuspended:
+		return "SUSPENDED"
+	}
+	return "INVALID"
+}
+
+// Terminal reports whether no further transitions can occur.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Costs models the local overheads of job management.
+type Costs struct {
+	// Fork is the per-job cost of creating processes (Figure 3: 0.001 s).
+	Fork time.Duration
+	// ProcStartup is the time a created process spends loading and
+	// initializing before application code runs. Together with the GRAM
+	// protocol costs this reproduces the ~2 s single-subjob latency of
+	// Figure 4.
+	ProcStartup time.Duration
+}
+
+// DefaultCosts is the Figure 3 / Figure 4 calibration.
+var DefaultCosts = Costs{Fork: time.Millisecond, ProcStartup: 750 * time.Millisecond}
+
+// ExecFunc is a simulated application executable. It runs once per
+// process; a non-nil error marks the process (and hence the job) failed.
+type ExecFunc func(p *Proc) error
+
+// Machine is a parallel computer under the control of one local resource
+// manager.
+type Machine struct {
+	sim        *vtime.Sim
+	host       *transport.Host
+	name       string
+	processors int
+	mode       Mode
+	costs      Costs
+
+	mu         sync.Mutex
+	execs      map[string]ExecFunc
+	jobs       map[string]*Job
+	nextJobID  int
+	freeProcs  int
+	queue      []*Job                 // batch: pending jobs, FCFS order
+	running    map[*Job]time.Duration // batch: active job -> expected end
+	slowFactor float64
+	down       bool
+
+	reservations map[string]*Reservation
+	nextResID    int
+}
+
+// Config carries optional machine settings.
+type Config struct {
+	Mode  Mode
+	Costs Costs // zero value replaced by DefaultCosts
+}
+
+// NewMachine creates a machine with the given processor count on host.
+func NewMachine(host *transport.Host, processors int, cfg Config) *Machine {
+	costs := cfg.Costs
+	if costs == (Costs{}) {
+		costs = DefaultCosts
+	}
+	return &Machine{
+		sim:          host.Network().Sim(),
+		host:         host,
+		name:         host.Name(),
+		processors:   processors,
+		mode:         cfg.Mode,
+		costs:        costs,
+		execs:        make(map[string]ExecFunc),
+		jobs:         make(map[string]*Job),
+		freeProcs:    processors,
+		slowFactor:   1,
+		reservations: make(map[string]*Reservation),
+	}
+}
+
+// Name returns the machine (host) name.
+func (m *Machine) Name() string { return m.name }
+
+// Host returns the machine's network host.
+func (m *Machine) Host() *transport.Host { return m.host }
+
+// Processors returns the machine size.
+func (m *Machine) Processors() int { return m.processors }
+
+// Mode returns the scheduling mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// RegisterExecutable installs a named application executable.
+func (m *Machine) RegisterExecutable(name string, fn ExecFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.execs[name] = fn
+}
+
+// SetSlowFactor scales process startup time; the "system was overloaded
+// with other work" failure mode from the paper's Section 2 scenario.
+func (m *Machine) SetSlowFactor(f float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f < 1 {
+		f = 1
+	}
+	m.slowFactor = f
+}
+
+// SetDown marks the machine's resource manager down (submissions fail) or
+// back up.
+func (m *Machine) SetDown(down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down = down
+}
+
+// JobSpec describes one job submission.
+type JobSpec struct {
+	Executable string
+	Count      int
+	Env        map[string]string
+	// TimeLimit is the batch wall-time limit; the job is killed when it
+	// expires. Zero means unlimited.
+	TimeLimit time.Duration
+	// ReservationID binds the job to an advance reservation.
+	ReservationID string
+}
+
+// Job is a submitted job.
+type Job struct {
+	machine *Machine
+	id      string
+	spec    JobSpec
+
+	mu        sync.Mutex
+	state     JobState
+	reason    string
+	liveProcs int
+	failed    bool
+	released  bool
+
+	kill     *vtime.Event
+	done     *vtime.Event
+	events   *vtime.Chan[JobState]
+	startRes *Reservation
+	startAt  time.Duration // when the job became active
+	resumeEv *vtime.Event  // non-nil while suspended
+}
+
+// ID returns the machine-unique job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submitted specification.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// State returns the current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Reason describes why the job reached a terminal state.
+func (j *Job) Reason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reason
+}
+
+// Events returns the job's state-transition stream. It carries every
+// transition in order and is closed after the terminal state is delivered.
+// There must be at most one consumer.
+func (j *Job) Events() *vtime.Chan[JobState] { return j.events }
+
+// Done returns an event set when the job reaches a terminal state.
+func (j *Job) Done() *vtime.Event { return j.done }
+
+// KillEvent returns the event processes watch for cancellation.
+func (j *Job) KillEvent() *vtime.Event { return j.kill }
+
+// setState transitions the job, delivering the event. Terminal states
+// close the event stream and set done.
+func (j *Job) setState(s JobState, reason string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = s
+	if reason != "" {
+		j.reason = reason
+	}
+	terminal := s.Terminal()
+	var release *vtime.Event
+	if terminal && j.resumeEv != nil {
+		// Wake suspended processes so they can observe the kill.
+		release = j.resumeEv
+		j.resumeEv = nil
+	}
+	j.mu.Unlock()
+	if release != nil {
+		release.Set()
+	}
+	j.events.TrySend(s)
+	if terminal {
+		j.events.Close()
+		j.kill.Set()
+		j.done.Set()
+	}
+}
+
+// Suspend pauses the job's processes: interruptible work stops consuming
+// progress until Resume. Only an active job can be suspended.
+func (j *Job) Suspend() error {
+	j.mu.Lock()
+	if j.state != StateActive {
+		state := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("lrm: cannot suspend job in state %v", state)
+	}
+	j.resumeEv = vtime.NewEvent(j.machine.sim, "resume:"+j.id)
+	j.mu.Unlock()
+	j.setState(StateSuspended, "")
+	return nil
+}
+
+// Resume continues a suspended job.
+func (j *Job) Resume() error {
+	j.mu.Lock()
+	if j.state != StateSuspended {
+		state := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("lrm: cannot resume job in state %v", state)
+	}
+	release := j.resumeEv
+	j.resumeEv = nil
+	j.mu.Unlock()
+	j.setState(StateActive, "")
+	if release != nil {
+		release.Set()
+	}
+	return nil
+}
+
+// suspension returns the event processes must wait on, or nil when
+// running.
+func (j *Job) suspension() *vtime.Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumeEv
+}
+
+// Cancel kills the job. It is the collective "kill" control operation of
+// Section 3.4 applied to one subjob.
+func (j *Job) Cancel() {
+	j.machine.finishJob(j, StateCancelled, "cancelled by request")
+}
+
+// Submit submits a job. In fork mode it returns once processes are
+// created; in batch mode it returns with the job queued.
+func (m *Machine) Submit(spec JobSpec) (*Job, error) {
+	m.mu.Lock()
+	if m.down {
+		m.mu.Unlock()
+		return nil, ErrMachineDown
+	}
+	if spec.Count <= 0 {
+		m.mu.Unlock()
+		return nil, ErrBadCount
+	}
+	if _, ok := m.execs[spec.Executable]; !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExecutable, spec.Executable)
+	}
+	if m.mode == Batch && spec.Count > m.processors {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, spec.Count, m.processors)
+	}
+	var res *Reservation
+	if spec.ReservationID != "" {
+		res = m.reservations[spec.ReservationID]
+		if res == nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("lrm: unknown reservation %q", spec.ReservationID)
+		}
+		if res.Count < spec.Count {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("lrm: reservation %q holds %d processors, job needs %d",
+				spec.ReservationID, res.Count, spec.Count)
+		}
+	}
+	m.nextJobID++
+	job := &Job{
+		machine:  m,
+		id:       fmt.Sprintf("%s/job%d", m.name, m.nextJobID),
+		spec:     spec,
+		state:    StatePending,
+		kill:     vtime.NewEvent(m.sim, "kill"),
+		done:     vtime.NewEvent(m.sim, "done"),
+		startRes: res,
+	}
+	job.events = vtime.NewChan[JobState](m.sim, "job-events:"+job.id, 16)
+	m.jobs[job.id] = job
+	m.mu.Unlock()
+
+	switch {
+	case res != nil:
+		m.sim.GoDaemon("reserved-start:"+job.id, func() { m.startReserved(job, res) })
+	case m.mode == Fork:
+		m.sim.Sleep(m.costs.Fork)
+		m.launch(job)
+	default:
+		m.mu.Lock()
+		m.queue = append(m.queue, job)
+		m.mu.Unlock()
+		m.schedule()
+	}
+	return job, nil
+}
+
+// Job returns a submitted job by ID.
+func (m *Machine) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	return j, nil
+}
+
+// launch transitions a job to Active and spawns its processes. In batch
+// mode the caller has already debited freeProcs.
+func (m *Machine) launch(job *Job) {
+	m.mu.Lock()
+	fn := m.execs[job.spec.Executable]
+	slow := m.slowFactor
+	m.mu.Unlock()
+
+	job.mu.Lock()
+	if job.state.Terminal() { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.liveProcs = job.spec.Count
+	job.startAt = m.sim.Now()
+	job.mu.Unlock()
+	job.setState(StateActive, "")
+
+	if job.spec.TimeLimit > 0 {
+		m.sim.AfterFunc(job.spec.TimeLimit, func() {
+			m.finishJob(job, StateFailed, "wall-time limit exceeded")
+		})
+	}
+	startup := time.Duration(float64(m.costs.ProcStartup) * slow)
+	for rank := 0; rank < job.spec.Count; rank++ {
+		p := &Proc{
+			sim:     m.sim,
+			host:    m.host,
+			machine: m,
+			job:     job,
+			Rank:    rank,
+			Count:   job.spec.Count,
+			Env:     job.spec.Env,
+		}
+		m.sim.GoDaemon(fmt.Sprintf("proc:%s/%d", job.id, rank), func() {
+			// Process load/init time; interruptible by kill.
+			if job.kill.WaitTimeout(startup) {
+				m.procExit(job, ErrKilled)
+				return
+			}
+			m.procExit(job, fn(p))
+		})
+	}
+}
+
+// procExit accounts for one process finishing.
+func (m *Machine) procExit(job *Job, err error) {
+	job.mu.Lock()
+	job.liveProcs--
+	if err != nil && err != ErrKilled {
+		job.failed = true
+		if job.reason == "" {
+			job.reason = err.Error()
+		}
+	}
+	last := job.liveProcs == 0
+	failed := job.failed
+	reason := job.reason
+	job.mu.Unlock()
+	if err != nil && err != ErrKilled {
+		// One process failing fails the job and kills its siblings —
+		// LoadLeveler/LSF semantics at the single-resource level.
+		m.finishJob(job, StateFailed, reason)
+		return
+	}
+	if last {
+		if failed {
+			m.finishJob(job, StateFailed, reason)
+		} else {
+			m.finishJob(job, StateDone, "")
+		}
+	}
+}
+
+// finishJob drives a job to a terminal state once, releasing processors.
+func (m *Machine) finishJob(job *Job, state JobState, reason string) {
+	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return
+	}
+	wasPending := job.state == StatePending
+	release := !job.released && !wasPending
+	job.released = true
+	job.mu.Unlock()
+
+	if wasPending {
+		m.mu.Lock()
+		for i, q := range m.queue {
+			if q == job {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+	}
+	job.setState(state, reason)
+	if release && m.mode == Batch && job.startRes == nil {
+		m.mu.Lock()
+		m.freeProcs += job.spec.Count
+		delete(m.running, job)
+		m.mu.Unlock()
+		m.schedule()
+	}
+}

@@ -1,0 +1,99 @@
+package lrm
+
+import (
+	"time"
+
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// Proc is the execution context handed to a simulated application
+// process: its identity within the job, its environment, and interruptible
+// blocking primitives that observe job cancellation.
+type Proc struct {
+	sim     *vtime.Sim
+	host    *transport.Host
+	machine *Machine
+	job     *Job
+
+	// Rank is this process's rank within its job (0-based).
+	Rank int
+	// Count is the number of processes in the job.
+	Count int
+	// Env carries submission environment values (e.g. the DUROC contact).
+	Env map[string]string
+}
+
+// Sim returns the kernel.
+func (p *Proc) Sim() *vtime.Sim { return p.sim }
+
+// Host returns the machine's network host, for dialing out.
+func (p *Proc) Host() *transport.Host { return p.host }
+
+// JobID returns the local job identifier.
+func (p *Proc) JobID() string { return p.job.id }
+
+// Getenv returns an environment value, or "" if unset.
+func (p *Proc) Getenv(key string) string {
+	if p.Env == nil {
+		return ""
+	}
+	return p.Env[key]
+}
+
+// Killed reports whether the job has been killed.
+func (p *Proc) Killed() bool { return p.job.kill.IsSet() }
+
+// KillEvent returns the job's kill event for custom waits.
+func (p *Proc) KillEvent() *vtime.Event { return p.job.kill }
+
+// Sleep blocks for d of virtual time, returning ErrKilled early if the job
+// is killed.
+func (p *Proc) Sleep(d time.Duration) error {
+	if p.job.kill.WaitTimeout(d) {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Suspended reports whether the job is currently suspended.
+func (p *Proc) Suspended() bool { return p.job.suspension() != nil }
+
+// PauseWhileSuspended blocks while the job is suspended, returning
+// ErrKilled if it is killed in the meantime.
+func (p *Proc) PauseWhileSuspended() error {
+	for {
+		ev := p.job.suspension()
+		if ev == nil {
+			if p.Killed() {
+				return ErrKilled
+			}
+			return nil
+		}
+		ev.Wait()
+	}
+}
+
+// Work simulates computation in interruptible steps: it sleeps for total,
+// checking for cancellation every step and pausing while the job is
+// suspended (suspended wall time does not count as progress, at step
+// granularity).
+func (p *Proc) Work(total, step time.Duration) error {
+	if step <= 0 {
+		step = total
+	}
+	for total > 0 {
+		if err := p.PauseWhileSuspended(); err != nil {
+			return err
+		}
+		d := step
+		if d > total {
+			d = total
+		}
+		if err := p.Sleep(d); err != nil {
+			return err
+		}
+		total -= d
+	}
+	return nil
+}

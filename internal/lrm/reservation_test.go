@@ -1,0 +1,197 @@
+package lrm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+func newResMachine(procs int) (*vtime.Sim, *Machine) {
+	sim := vtime.New()
+	net := transport.New(sim, transport.UniformLatency(time.Millisecond))
+	host := net.AddHost("sp2")
+	m := NewMachine(host, procs, Config{Mode: Batch})
+	m.RegisterExecutable("work", func(p *Proc) error { return p.Work(10*time.Second, time.Second) })
+	return sim, m
+}
+
+func TestReserveAdmission(t *testing.T) {
+	sim, m := newResMachine(16)
+	err := sim.Run("main", func() {
+		r1, err := m.Reserve(10, time.Minute, time.Minute)
+		if err != nil {
+			t.Errorf("Reserve r1: %v", err)
+			return
+		}
+		// Overlapping second reservation beyond capacity fails.
+		if _, err := m.Reserve(10, 90*time.Second, time.Minute); !errors.Is(err, ErrReservationConflict) {
+			t.Errorf("oversubscribing Reserve = %v, want conflict", err)
+		}
+		// Disjoint window is fine.
+		if _, err := m.Reserve(10, 3*time.Minute, time.Minute); err != nil {
+			t.Errorf("disjoint Reserve: %v", err)
+		}
+		// Fits beside r1.
+		if _, err := m.Reserve(6, 90*time.Second, 10*time.Second); err != nil {
+			t.Errorf("fitting Reserve: %v", err)
+		}
+		m.CancelReservation(r1.ID)
+		if _, err := m.Reserve(10, 90*time.Second, time.Minute); err != nil {
+			t.Errorf("Reserve after cancel: %v", err)
+		}
+		if _, err := m.Reserve(0, time.Minute, time.Minute); !errors.Is(err, ErrBadCount) {
+			t.Errorf("zero count: %v", err)
+		}
+		if _, err := m.Reserve(17, time.Minute, time.Minute); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("too large: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestReserveInPastFails(t *testing.T) {
+	sim, m := newResMachine(16)
+	err := sim.Run("main", func() {
+		sim.Sleep(time.Minute)
+		if _, err := m.Reserve(4, 30*time.Second, time.Minute); !errors.Is(err, ErrPastStart) {
+			t.Errorf("past Reserve = %v, want ErrPastStart", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestEarliestSlotSkipsConflicts(t *testing.T) {
+	sim, m := newResMachine(16)
+	err := sim.Run("main", func() {
+		if _, err := m.Reserve(16, time.Minute, time.Minute); err != nil {
+			t.Errorf("Reserve: %v", err)
+			return
+		}
+		// Whole machine is taken for [60s,120s): a 1-hour 8-proc slot
+		// starting "now" cannot fit before 120s.
+		slot, err := m.EarliestSlot(8, time.Hour, 0)
+		if err != nil {
+			t.Errorf("EarliestSlot: %v", err)
+			return
+		}
+		if slot != 2*time.Minute {
+			t.Errorf("slot = %v, want 2m", slot)
+		}
+		// A small job that ends before the big reservation starts fits now.
+		slot2, err := m.EarliestSlot(8, 30*time.Second, 0)
+		if err != nil {
+			t.Errorf("EarliestSlot small: %v", err)
+			return
+		}
+		if slot2 != 0 {
+			t.Errorf("small slot = %v, want 0", slot2)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestReservedJobStartsAtWindow(t *testing.T) {
+	sim, m := newResMachine(16)
+	err := sim.Run("main", func() {
+		res, err := m.Reserve(8, time.Minute, 5*time.Minute)
+		if err != nil {
+			t.Errorf("Reserve: %v", err)
+			return
+		}
+		job, err := m.Submit(JobSpec{Executable: "work", Count: 8, ReservationID: res.ID})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		job.Done().Wait()
+		if job.State() != StateDone {
+			t.Errorf("state = %v (%s)", job.State(), job.Reason())
+		}
+		want := time.Minute + DefaultCosts.ProcStartup + 10*time.Second
+		if sim.Now() != want {
+			t.Errorf("reserved job finished at %v, want %v", sim.Now(), want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestReservedJobKilledAtWindowEnd(t *testing.T) {
+	sim, m := newResMachine(16)
+	m.RegisterExecutable("forever", func(p *Proc) error { return p.Work(time.Hour, time.Second) })
+	err := sim.Run("main", func() {
+		res, err := m.Reserve(8, time.Minute, time.Minute)
+		if err != nil {
+			t.Errorf("Reserve: %v", err)
+			return
+		}
+		job, err := m.Submit(JobSpec{Executable: "forever", Count: 8, ReservationID: res.ID})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		job.Done().Wait()
+		if job.State() != StateFailed {
+			t.Errorf("state = %v, want FAILED at window end", job.State())
+		}
+		if sim.Now() != 2*time.Minute {
+			t.Errorf("killed at %v, want 2m", sim.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestReservationCarveOutBlocksBatchQueue(t *testing.T) {
+	sim, m := newResMachine(16)
+	err := sim.Run("main", func() {
+		// Reserve the whole machine starting now.
+		if _, err := m.Reserve(16, 0, time.Minute); err != nil {
+			t.Errorf("Reserve: %v", err)
+			return
+		}
+		job, err := m.Submit(JobSpec{Executable: "work", Count: 4, TimeLimit: time.Minute})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		sim.Sleep(time.Second)
+		if job.State() != StatePending {
+			t.Errorf("batch job state = %v, want PENDING during reservation window", job.State())
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSubmitWithUnknownOrUndersizedReservation(t *testing.T) {
+	sim, m := newResMachine(16)
+	err := sim.Run("main", func() {
+		if _, err := m.Submit(JobSpec{Executable: "work", Count: 4, ReservationID: "nope"}); err == nil {
+			t.Error("Submit with unknown reservation succeeded")
+		}
+		res, err := m.Reserve(2, time.Minute, time.Minute)
+		if err != nil {
+			t.Errorf("Reserve: %v", err)
+			return
+		}
+		if _, err := m.Submit(JobSpec{Executable: "work", Count: 4, ReservationID: res.ID}); err == nil {
+			t.Error("Submit larger than reservation succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}

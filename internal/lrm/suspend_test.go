@@ -1,0 +1,142 @@
+package lrm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSuspendPausesWork(t *testing.T) {
+	sim, m := newMachine(8, Fork)
+	registerWork(m, 10*time.Second)
+	err := sim.Run("main", func() {
+		job, err := m.Submit(JobSpec{Executable: "work", Count: 2})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		// Let the job get going, then suspend for a minute.
+		sim.Sleep(DefaultCosts.Fork + DefaultCosts.ProcStartup + 3*time.Second)
+		if err := job.Suspend(); err != nil {
+			t.Errorf("Suspend: %v", err)
+			return
+		}
+		if job.State() != StateSuspended {
+			t.Errorf("state = %v, want SUSPENDED", job.State())
+		}
+		sim.Sleep(time.Minute)
+		if job.State() != StateSuspended {
+			t.Errorf("job left suspension by itself: %v", job.State())
+		}
+		if err := job.Resume(); err != nil {
+			t.Errorf("Resume: %v", err)
+			return
+		}
+		job.Done().Wait()
+		if job.State() != StateDone {
+			t.Errorf("terminal state = %v (%s)", job.State(), job.Reason())
+		}
+		// 1ms fork + 750ms startup + 10s work + 60s suspension; the work
+		// step granularity (1s) allows one step of slack.
+		base := DefaultCosts.Fork + DefaultCosts.ProcStartup + 10*time.Second + time.Minute
+		if got := sim.Now(); got < base-time.Second || got > base+time.Second {
+			t.Errorf("finished at %v, want ~%v", got, base)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSuspendEventsAndStateChecks(t *testing.T) {
+	sim, m := newMachine(8, Fork)
+	registerWork(m, 5*time.Second)
+	err := sim.Run("main", func() {
+		job, err := m.Submit(JobSpec{Executable: "work", Count: 1})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		if err := job.Resume(); err == nil {
+			t.Error("Resume of non-suspended job succeeded")
+		}
+		if err := job.Suspend(); err != nil {
+			t.Errorf("Suspend: %v", err)
+			return
+		}
+		if err := job.Suspend(); err == nil {
+			t.Error("double Suspend succeeded")
+		}
+		if err := job.Resume(); err != nil {
+			t.Errorf("Resume: %v", err)
+		}
+		var states []JobState
+		for {
+			s, ok := job.Events().Recv()
+			if !ok {
+				break
+			}
+			states = append(states, s)
+		}
+		want := []JobState{StateActive, StateSuspended, StateActive, StateDone}
+		if len(states) != len(want) {
+			t.Fatalf("events = %v, want %v", states, want)
+		}
+		for i := range want {
+			if states[i] != want[i] {
+				t.Fatalf("events = %v, want %v", states, want)
+			}
+		}
+		if err := job.Suspend(); err == nil {
+			t.Error("Suspend of finished job succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestCancelWhileSuspendedReleasesProcesses(t *testing.T) {
+	sim, m := newMachine(8, Fork)
+	registerWork(m, time.Hour)
+	err := sim.Run("main", func() {
+		job, err := m.Submit(JobSpec{Executable: "work", Count: 4})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		sim.Sleep(2 * time.Second)
+		if err := job.Suspend(); err != nil {
+			t.Errorf("Suspend: %v", err)
+			return
+		}
+		job.Cancel()
+		if job.State() != StateCancelled {
+			t.Errorf("state = %v, want CANCELLED", job.State())
+		}
+		// The simulation must quiesce: suspended processes must have been
+		// woken to observe the kill, or the kernel would deadlock with
+		// live non-daemon waiters... they are daemons, but a leak of the
+		// suspension would show as the clock never settling. Sleep past
+		// any step boundary to let them drain.
+		sim.Sleep(5 * time.Second)
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSuspendPendingJobFails(t *testing.T) {
+	sim, m := newMachine(2, Batch)
+	registerWork(m, 10*time.Second)
+	err := sim.Run("main", func() {
+		a, _ := m.Submit(JobSpec{Executable: "work", Count: 2, TimeLimit: time.Minute})
+		b, _ := m.Submit(JobSpec{Executable: "work", Count: 2, TimeLimit: time.Minute})
+		if err := b.Suspend(); err == nil {
+			t.Error("Suspend of pending job succeeded")
+		}
+		_ = a
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package mds simulates the Metacomputing Directory Service: the
+// information component of the Globus resource management architecture.
+//
+// Resources publish records (machine size, scheduling mode, queue depth,
+// and queue-wait forecasts) which co-allocation agents query to select
+// candidate resources (Section 2.2). Records expire after a TTL: the
+// staleness bound matching [14]'s observation that load information is
+// only useful over a minimum validity period.
+package mds
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cogrid/internal/lrm"
+	"cogrid/internal/rpc"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// ServiceName is the transport service the directory listens on.
+const ServiceName = "mds"
+
+// DefaultTTL is how long a record stays valid without refresh.
+const DefaultTTL = 5 * time.Minute
+
+// Record describes one published resource.
+type Record struct {
+	Name           string `json:"name"`
+	Contact        string `json:"contact"` // GRAM contact
+	Processors     int    `json:"processors"`
+	Mode           string `json:"mode"`
+	FreeProcessors int    `json:"free_processors"`
+	RunningJobs    int    `json:"running_jobs"`
+	QueuedJobs     int    `json:"queued_jobs"`
+	// ForecastWait maps process counts to the machine's published
+	// queue-wait forecasts.
+	ForecastWait map[int]time.Duration `json:"forecast_wait,omitempty"`
+	UpdatedAt    time.Duration         `json:"updated_at"`
+}
+
+// Filter selects records in a query.
+type Filter struct {
+	// MinProcessors excludes machines smaller than this.
+	MinProcessors int `json:"min_processors,omitempty"`
+	// MinFree excludes machines with fewer free processors.
+	MinFree int `json:"min_free,omitempty"`
+	// Mode, if non-empty, selects fork or batch machines only.
+	Mode string `json:"mode,omitempty"`
+	// MaxAge excludes records older than this (0 = server TTL).
+	MaxAge time.Duration `json:"max_age,omitempty"`
+}
+
+// Server is a directory service.
+type Server struct {
+	sim *vtime.Sim
+	ttl time.Duration
+
+	mu      sync.Mutex
+	records map[string]Record
+}
+
+// NewServer starts a directory on host with the given record TTL
+// (DefaultTTL if zero).
+func NewServer(host *transport.Host, ttl time.Duration) (*Server, error) {
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	s := &Server{
+		sim:     host.Network().Sim(),
+		ttl:     ttl,
+		records: make(map[string]Record),
+	}
+	l, err := host.Listen(ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	rpc.Serve(s.sim, l, rpc.HandlerFuncs{Call: s.handleCall}, nil)
+	return s, nil
+}
+
+func (s *Server) handleCall(sc *rpc.ServerConn, method string, body json.RawMessage) (any, error) {
+	switch method {
+	case "register":
+		var rec Record
+		if err := rpc.Decode(body, &rec); err != nil {
+			return nil, err
+		}
+		if rec.Name == "" {
+			return nil, fmt.Errorf("mds: record without name")
+		}
+		rec.UpdatedAt = s.sim.Now()
+		s.mu.Lock()
+		s.records[rec.Name] = rec
+		s.mu.Unlock()
+		return nil, nil
+	case "unregister":
+		var args struct {
+			Name string `json:"name"`
+		}
+		if err := rpc.Decode(body, &args); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		delete(s.records, args.Name)
+		s.mu.Unlock()
+		return nil, nil
+	case "query":
+		var f Filter
+		if err := rpc.Decode(body, &f); err != nil {
+			return nil, err
+		}
+		return s.query(f), nil
+	}
+	return nil, fmt.Errorf("mds: unknown method %s", method)
+}
+
+func (s *Server) query(f Filter) []Record {
+	maxAge := f.MaxAge
+	if maxAge == 0 {
+		maxAge = s.ttl
+	}
+	now := s.sim.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, rec := range s.records {
+		if now-rec.UpdatedAt > maxAge {
+			continue
+		}
+		if rec.Processors < f.MinProcessors {
+			continue
+		}
+		if rec.FreeProcessors < f.MinFree {
+			continue
+		}
+		if f.Mode != "" && rec.Mode != f.Mode {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Client queries and updates a directory.
+type Client struct {
+	rpcc *rpc.Client
+}
+
+// Dial connects to a directory service.
+func Dial(from *transport.Host, dir transport.Addr) (*Client, error) {
+	conn, err := from.Dial(dir)
+	if err != nil {
+		return nil, fmt.Errorf("mds: dial: %w", err)
+	}
+	return &Client{rpcc: rpc.NewClient(from.Network().Sim(), conn)}, nil
+}
+
+// CallTimeout bounds directory calls.
+const CallTimeout = time.Minute
+
+// Register publishes or refreshes a record.
+func (c *Client) Register(rec Record) error {
+	return c.rpcc.Call("register", rec, nil, CallTimeout)
+}
+
+// Unregister removes a record by name.
+func (c *Client) Unregister(name string) error {
+	return c.rpcc.Call("unregister", struct {
+		Name string `json:"name"`
+	}{Name: name}, nil, CallTimeout)
+}
+
+// Query returns records matching the filter.
+func (c *Client) Query(f Filter) ([]Record, error) {
+	var out []Record
+	err := c.rpcc.Call("query", f, &out, CallTimeout)
+	return out, err
+}
+
+// Close releases the connection.
+func (c *Client) Close() { c.rpcc.Close() }
+
+// RecordFor builds a directory record from a machine's current state,
+// forecasting waits for the given process counts.
+func RecordFor(m *lrm.Machine, contact transport.Addr, forecastCounts ...int) Record {
+	info := m.QueueInfo()
+	rec := Record{
+		Name:           m.Name(),
+		Contact:        contact.String(),
+		Processors:     info.Processors,
+		Mode:           m.Mode().String(),
+		FreeProcessors: info.FreeProcessors,
+		RunningJobs:    info.RunningJobs,
+		QueuedJobs:     len(info.QueuedJobs),
+	}
+	if len(forecastCounts) > 0 {
+		rec.ForecastWait = make(map[int]time.Duration, len(forecastCounts))
+		for _, n := range forecastCounts {
+			rec.ForecastWait[n] = m.EstimateWait(n)
+		}
+	}
+	return rec
+}
+
+// Publish runs a daemon that republishes a machine's record every
+// interval until the returned stop function is called. The publishing
+// host dials the directory each round, as a GRAM reporter would.
+func Publish(m *lrm.Machine, dir transport.Addr, contact transport.Addr, interval time.Duration, forecastCounts ...int) (stop func()) {
+	sim := m.Host().Network().Sim()
+	stopped := vtime.NewEvent(sim, "mds-publish-stop:"+m.Name())
+	sim.GoDaemon("mds-publish:"+m.Name(), func() {
+		for {
+			client, err := Dial(m.Host(), dir)
+			if err == nil {
+				client.Register(RecordFor(m, contact, forecastCounts...))
+				client.Close()
+			}
+			if stopped.WaitTimeout(interval) {
+				return
+			}
+		}
+	})
+	return stopped.Set
+}

@@ -1,0 +1,155 @@
+package mds_test
+
+import (
+	"testing"
+	"time"
+
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/mds"
+	"cogrid/internal/transport"
+)
+
+func setup(t *testing.T) (*grid.Grid, transport.Addr) {
+	t.Helper()
+	g := grid.New(grid.Options{})
+	dirHost := g.Net.AddHost("mds0")
+	if _, err := mds.NewServer(dirHost, 0); err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return g, transport.Addr{Host: "mds0", Service: mds.ServiceName}
+}
+
+func TestRegisterAndQuery(t *testing.T) {
+	g, dir := setup(t)
+	err := g.Sim.Run("main", func() {
+		c, err := mds.Dial(g.Workstation, dir)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		defer c.Close()
+		for _, rec := range []mds.Record{
+			{Name: "sp2", Contact: "sp2:gram", Processors: 128, Mode: "batch", FreeProcessors: 0},
+			{Name: "origin", Contact: "origin:gram", Processors: 64, Mode: "fork", FreeProcessors: 64},
+			{Name: "cluster", Contact: "cluster:gram", Processors: 16, Mode: "batch", FreeProcessors: 8},
+		} {
+			if err := c.Register(rec); err != nil {
+				t.Errorf("Register %s: %v", rec.Name, err)
+			}
+		}
+		all, err := c.Query(mds.Filter{})
+		if err != nil || len(all) != 3 {
+			t.Errorf("Query all = %d records, %v", len(all), err)
+		}
+		big, err := c.Query(mds.Filter{MinProcessors: 64})
+		if err != nil || len(big) != 2 {
+			t.Errorf("Query min 64 = %v, %v", big, err)
+		}
+		batch, err := c.Query(mds.Filter{Mode: "batch"})
+		if err != nil || len(batch) != 2 {
+			t.Errorf("Query batch = %v, %v", batch, err)
+		}
+		free, err := c.Query(mds.Filter{MinFree: 8})
+		if err != nil || len(free) != 2 {
+			t.Errorf("Query free = %v, %v", free, err)
+		}
+		if err := c.Unregister("sp2"); err != nil {
+			t.Errorf("Unregister: %v", err)
+		}
+		after, _ := c.Query(mds.Filter{})
+		if len(after) != 2 {
+			t.Errorf("after unregister: %d records", len(after))
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestRecordsExpire(t *testing.T) {
+	g, dir := setup(t)
+	err := g.Sim.Run("main", func() {
+		c, err := mds.Dial(g.Workstation, dir)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		defer c.Close()
+		c.Register(mds.Record{Name: "stale", Processors: 8})
+		g.Sim.Sleep(2 * time.Minute)
+		c.Register(mds.Record{Name: "fresh", Processors: 8})
+		g.Sim.Sleep(4 * time.Minute) // stale now 6m old, fresh 4m; TTL 5m
+		recs, err := c.Query(mds.Filter{})
+		if err != nil || len(recs) != 1 || recs[0].Name != "fresh" {
+			t.Errorf("Query = %v, %v; want only fresh", recs, err)
+		}
+		// An explicit shorter MaxAge excludes fresh too.
+		recs, _ = c.Query(mds.Filter{MaxAge: time.Minute})
+		if len(recs) != 0 {
+			t.Errorf("MaxAge 1m returned %v", recs)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestRegisterWithoutNameRejected(t *testing.T) {
+	g, dir := setup(t)
+	err := g.Sim.Run("main", func() {
+		c, err := mds.Dial(g.Workstation, dir)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		defer c.Close()
+		if err := c.Register(mds.Record{Processors: 4}); err == nil {
+			t.Error("nameless record accepted")
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestRecordForAndPublish(t *testing.T) {
+	g, dir := setup(t)
+	m := g.AddMachine("batch1", 32, lrm.Batch)
+	m.RegisterExecutable("work", func(p *lrm.Proc) error {
+		return p.Work(time.Hour, time.Second)
+	})
+	err := g.Sim.Run("main", func() {
+		if _, err := m.Submit(lrm.JobSpec{Executable: "work", Count: 32, TimeLimit: 2 * time.Hour}); err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		rec := mds.RecordFor(m, g.Contact("batch1"), 1, 32)
+		if rec.Name != "batch1" || rec.Processors != 32 || rec.RunningJobs != 1 {
+			t.Errorf("RecordFor = %+v", rec)
+		}
+		if rec.ForecastWait[32] <= 0 {
+			t.Errorf("forecast for 32 procs = %v, want positive (machine full)", rec.ForecastWait[32])
+		}
+		stop := mds.Publish(m, dir, g.Contact("batch1"), 30*time.Second, 32)
+		g.Sim.Sleep(time.Minute)
+		c, err := mds.Dial(g.Workstation, dir)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		defer c.Close()
+		recs, err := c.Query(mds.Filter{})
+		if err != nil || len(recs) != 1 {
+			t.Errorf("Query after publish = %v, %v", recs, err)
+			return
+		}
+		if recs[0].Name != "batch1" || recs[0].ForecastWait[32] <= 0 {
+			t.Errorf("published record = %+v", recs[0])
+		}
+		stop()
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cogrid/internal/vtime"
+)
+
+func TestTimelineStartStop(t *testing.T) {
+	sim := vtime.New()
+	tl := NewTimeline(sim)
+	err := sim.Run("main", func() {
+		stop := tl.Start("subjob0", "auth")
+		sim.Sleep(500 * time.Millisecond)
+		stop()
+		stop2 := tl.Start("subjob0", "fork")
+		sim.Sleep(time.Millisecond)
+		stop2()
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	spans := tl.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Phase != "auth" || spans[0].Duration() != 500*time.Millisecond {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Start != 500*time.Millisecond || spans[1].Duration() != time.Millisecond {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestTimelinePhaseTotals(t *testing.T) {
+	sim := vtime.New()
+	tl := NewTimeline(sim)
+	tl.Add("a", "auth", 0, time.Second)
+	tl.Add("b", "auth", time.Second, 3*time.Second)
+	tl.Add("a", "fork", 0, 10*time.Millisecond)
+	totals := tl.PhaseTotals()
+	if totals["auth"] != 3*time.Second {
+		t.Errorf("auth total = %v, want 3s", totals["auth"])
+	}
+	if totals["fork"] != 10*time.Millisecond {
+		t.Errorf("fork total = %v", totals["fork"])
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	sim := vtime.New()
+	tl := NewTimeline(sim)
+	tl.Add("sj0", "gsi", 0, 500*time.Millisecond)
+	tl.Add("sj0", "initgroups", 500*time.Millisecond, 1200*time.Millisecond)
+	out := tl.Render(40)
+	if !strings.Contains(out, "sj0 gsi") || !strings.Contains(out, "sj0 initgroups") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render has no bars:\n%s", out)
+	}
+	// The second phase starts where the first ends: its bar must begin
+	// later in the line.
+	gsiBar := strings.Index(lines[1], "#")
+	igBar := strings.Index(lines[2], "#")
+	if igBar <= gsiBar {
+		t.Fatalf("initgroups bar starts at %d, gsi at %d:\n%s", igBar, gsiBar, out)
+	}
+}
+
+func TestTimelineRenderEmpty(t *testing.T) {
+	tl := NewTimeline(vtime.New())
+	if out := tl.Render(40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("P50 = %v, want 2.5", s.P50)
+	}
+	wantSD := math.Sqrt(1.25)
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, wantSD)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.P50 != 7 || s.P95 != 7 || s.Stddev != 0 {
+		t.Errorf("single-element summary = %+v", s)
+	}
+}
+
+// Property: Min <= P50 <= P95 <= Max and Min <= Mean <= Max for any sample.
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			// Bound the domain: summation of extreme magnitudes overflows,
+			// which is outside what experiment timings ever produce.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationsToSeconds(t *testing.T) {
+	got := DurationsToSeconds([]time.Duration{time.Second, 250 * time.Millisecond})
+	if got[0] != 1.0 || got[1] != 0.25 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Figure 2", "processes", "latency")
+	tb.Add(16, 2100*time.Millisecond)
+	tb.Add(64, 2.135)
+	out := tb.String()
+	if !strings.Contains(out, "Figure 2") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "2.100s") {
+		t.Errorf("duration not formatted as seconds:\n%s", out)
+	}
+	if !strings.Contains(out, "2.135") {
+		t.Errorf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line must be at least as wide as the header.
+	if len(lines[3]) < len(lines[1])-8 {
+		t.Errorf("row narrower than header:\n%s", out)
+	}
+}

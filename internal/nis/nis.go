@@ -1,0 +1,109 @@
+// Package nis simulates the Network Information Service group database
+// consulted by the Unix initgroups call.
+//
+// The paper's Figure 3 attributes the largest share of a GRAM request —
+// 0.7 s — to initgroups, "expensive because it must consult remote group
+// databases (via the Network Information Service)". We model NIS as a
+// service with a configurable per-lookup service time, reached over the
+// simulated network.
+package nis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cogrid/internal/rpc"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// ServiceName is the transport service NIS listens on.
+const ServiceName = "nis"
+
+// DefaultServiceTime calibrates a lookup so that, with the default 2 ms
+// network, initgroups costs Figure 3's 0.7 s.
+const DefaultServiceTime = 696 * time.Millisecond
+
+// ErrNoSuchUser is returned for lookups of unknown users.
+var ErrNoSuchUser = errors.New("nis: no such user")
+
+type lookupArgs struct {
+	User string `json:"user"`
+}
+
+type lookupReply struct {
+	Groups []string `json:"groups"`
+}
+
+// Server is a simulated NIS daemon.
+type Server struct {
+	sim         *vtime.Sim
+	serviceTime time.Duration
+
+	mu     sync.Mutex
+	groups map[string][]string
+}
+
+// NewServer starts a NIS daemon on host with the given per-lookup service
+// time (DefaultServiceTime if zero).
+func NewServer(host *transport.Host, serviceTime time.Duration) (*Server, error) {
+	if serviceTime == 0 {
+		serviceTime = DefaultServiceTime
+	}
+	s := &Server{
+		sim:         host.Network().Sim(),
+		serviceTime: serviceTime,
+		groups:      make(map[string][]string),
+	}
+	l, err := host.Listen(ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	rpc.Serve(s.sim, l, rpc.HandlerFuncs{Call: s.handleCall}, nil)
+	return s, nil
+}
+
+// AddUser registers a user's group list.
+func (s *Server) AddUser(user string, groups ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups[user] = append([]string(nil), groups...)
+}
+
+func (s *Server) handleCall(sc *rpc.ServerConn, method string, body json.RawMessage) (any, error) {
+	if method != "initgroups" {
+		return nil, fmt.Errorf("nis: unknown method %s", method)
+	}
+	var args lookupArgs
+	if err := rpc.Decode(body, &args); err != nil {
+		return nil, err
+	}
+	s.sim.Sleep(s.serviceTime)
+	s.mu.Lock()
+	groups, ok := s.groups[args.User]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchUser
+	}
+	return lookupReply{Groups: groups}, nil
+}
+
+// Initgroups performs a group lookup for user from the given host,
+// blocking for the service time plus network round trips — the dominant
+// term in a GRAM request's latency breakdown.
+func Initgroups(from *transport.Host, server transport.Addr, user string, timeout time.Duration) ([]string, error) {
+	conn, err := from.Dial(server)
+	if err != nil {
+		return nil, fmt.Errorf("nis: dial: %w", err)
+	}
+	client := rpc.NewClient(from.Network().Sim(), conn)
+	defer client.Close()
+	var reply lookupReply
+	if err := client.Call("initgroups", lookupArgs{User: user}, &reply, timeout); err != nil {
+		return nil, err
+	}
+	return reply.Groups, nil
+}

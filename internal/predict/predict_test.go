@@ -1,0 +1,233 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cogrid/internal/lrm"
+)
+
+func TestCategoryBuckets(t *testing.T) {
+	cases := []struct {
+		exe   string
+		count int
+		want  string
+	}{
+		{"sim", 1, "sim/2^0"},
+		{"sim", 2, "sim/2^1"},
+		{"sim", 3, "sim/2^1"},
+		{"sim", 4, "sim/2^2"},
+		{"sim", 64, "sim/2^6"},
+		{"other", 64, "other/2^6"},
+	}
+	for _, c := range cases {
+		if got := Category(c.exe, c.count); got != c.want {
+			t.Errorf("Category(%s,%d) = %q, want %q", c.exe, c.count, got, c.want)
+		}
+	}
+}
+
+func TestHistoryPredictMean(t *testing.T) {
+	h := NewHistory()
+	cat := Category("sim", 16)
+	if _, n := h.Predict(cat); n != 0 {
+		t.Fatal("empty history predicted")
+	}
+	h.Observe(cat, 10*time.Minute)
+	h.Observe(cat, 20*time.Minute)
+	h.Observe(cat, 30*time.Minute)
+	mean, n := h.Predict(cat)
+	if n != 3 || mean != 20*time.Minute {
+		t.Errorf("Predict = %v, %d; want 20m, 3", mean, n)
+	}
+	upper, _ := h.PredictUpper(cat, 2)
+	if upper <= mean {
+		t.Errorf("PredictUpper = %v, want > mean %v", upper, mean)
+	}
+	if u1, _ := h.PredictUpper(cat, 0); u1 != mean {
+		t.Errorf("PredictUpper(0) = %v, want mean", u1)
+	}
+}
+
+func TestHistoryCategoriesIndependent(t *testing.T) {
+	h := NewHistory()
+	h.Observe(Category("a", 4), time.Hour)
+	if _, n := h.Predict(Category("b", 4)); n != 0 {
+		t.Error("categories leaked")
+	}
+}
+
+func TestRemainingQuantile(t *testing.T) {
+	age := 10 * time.Minute
+	if got := RemainingMedian(age); got != age {
+		t.Errorf("median remaining = %v, want age %v", got, age)
+	}
+	if got := RemainingQuantile(age, 0.75); got != 30*time.Minute {
+		t.Errorf("q75 = %v, want 30m (age·3)", got)
+	}
+	if got := RemainingQuantile(age, 0); got != 0 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := RemainingQuantile(age, 1); got != time.Duration(math.MaxInt64) {
+		t.Errorf("q1 = %v", got)
+	}
+}
+
+// Property: remaining quantile is monotone in q and in age.
+func TestRemainingQuantileMonotoneProperty(t *testing.T) {
+	f := func(ageMin uint16, q1, q2 float64) bool {
+		q1 = math.Mod(math.Abs(q1), 0.99)
+		q2 = math.Mod(math.Abs(q2), 0.99)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		age := time.Duration(ageMin%10000) * time.Minute
+		return RemainingQuantile(age, q1) <= RemainingQuantile(age, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fullQueue() lrm.QueueInfo {
+	return lrm.QueueInfo{
+		Machine:        "sp2",
+		Processors:     64,
+		FreeProcessors: 0,
+		RunningJobs:    2,
+		Running: []lrm.RunningJob{
+			{Count: 32, Elapsed: 30 * time.Minute, TimeLimit: time.Hour},
+			{Count: 32, Elapsed: 10 * time.Minute, TimeLimit: 2 * time.Hour},
+		},
+		QueuedJobs: []lrm.QueuedJob{
+			{Count: 64, TimeLimit: time.Hour},
+		},
+	}
+}
+
+func TestForecastWaitWithLimits(t *testing.T) {
+	info := fullQueue()
+	est := LimitEstimator{}
+	// Job of 64: wait for both running (30m and 110m remaining), then the
+	// queued 64-proc job (1h) => 110m + 60m = 170m.
+	got := ForecastWait(info, 64, est)
+	if got != 170*time.Minute {
+		t.Errorf("ForecastWait(64) = %v, want 170m", got)
+	}
+	// Job of 32: after the queued 64-proc job starts at 110m and ends at
+	// 170m... a 32-proc job can start when 32 procs free after it: the
+	// queued job used all 64, so also 170m.
+	if got := ForecastWait(info, 32, est); got != 170*time.Minute {
+		t.Errorf("ForecastWait(32) = %v, want 170m", got)
+	}
+}
+
+func TestForecastWaitDowneyShorter(t *testing.T) {
+	info := fullQueue()
+	limit := ForecastWait(info, 64, LimitEstimator{})
+	downey := ForecastWait(info, 64, DowneyEstimator{})
+	if downey >= limit {
+		t.Errorf("Downey forecast %v not shorter than limit forecast %v", downey, limit)
+	}
+}
+
+func TestForecastWaitImpossibleJob(t *testing.T) {
+	info := fullQueue()
+	if got := ForecastWait(info, 128, LimitEstimator{}); got < 300*24*time.Hour {
+		t.Errorf("impossible job forecast = %v, want 'never'", got)
+	}
+}
+
+func TestForecastWaitIdleMachine(t *testing.T) {
+	info := lrm.QueueInfo{Processors: 64, FreeProcessors: 64}
+	if got := ForecastWait(info, 64, LimitEstimator{}); got != 0 {
+		t.Errorf("idle machine forecast = %v, want 0", got)
+	}
+}
+
+func TestDowneyEstimatorBoundedByLimit(t *testing.T) {
+	e := DowneyEstimator{Quantile: 0.99}
+	r := lrm.RunningJob{Count: 4, Elapsed: 50 * time.Minute, TimeLimit: time.Hour}
+	if got := e.Remaining(r); got != 10*time.Minute {
+		t.Errorf("Remaining = %v, want capped at 10m", got)
+	}
+}
+
+func TestHistoryEstimatorBeatsLimitsWithGoodHistory(t *testing.T) {
+	// Jobs systematically use a third of their limit. The history learns
+	// this; the limit estimator cannot.
+	h := NewHistory()
+	cat := Category("job", 32)
+	for i := 0; i < 20; i++ {
+		h.Observe(cat, 20*time.Minute)
+	}
+	info := lrm.QueueInfo{
+		Processors:     64,
+		FreeProcessors: 0,
+		Running: []lrm.RunningJob{
+			{Count: 64, Elapsed: 5 * time.Minute, TimeLimit: time.Hour},
+		},
+	}
+	// True remaining ≈ 15m (actual runtime 20m); limits say 55m.
+	hist := ForecastWait(info, 32, HistoryEstimator{History: h, CategoryFunc: func(count int) string { return cat }})
+	lim := ForecastWait(info, 32, LimitEstimator{})
+	if hist != 15*time.Minute {
+		t.Errorf("history forecast = %v, want 15m", hist)
+	}
+	if lim != 55*time.Minute {
+		t.Errorf("limit forecast = %v, want 55m", lim)
+	}
+}
+
+func TestHistoryEstimatorFallsBackWithoutHistory(t *testing.T) {
+	e := HistoryEstimator{History: NewHistory()}
+	r := lrm.RunningJob{Count: 8, Elapsed: 10 * time.Minute, TimeLimit: time.Hour}
+	if got := e.Remaining(r); got != 50*time.Minute {
+		t.Errorf("fallback Remaining = %v, want 50m (limit-based)", got)
+	}
+	w := lrm.QueuedJob{Count: 8, TimeLimit: 40 * time.Minute}
+	if got := e.Runtime(w); got != 40*time.Minute {
+		t.Errorf("fallback Runtime = %v, want 40m", got)
+	}
+}
+
+func TestHistoryEstimatorClampedByLimit(t *testing.T) {
+	h := NewHistory()
+	cat := Category("job", 16)
+	h.Observe(cat, 10*time.Hour) // history says very long
+	e := HistoryEstimator{History: h, CategoryFunc: func(int) string { return cat }}
+	r := lrm.RunningJob{Count: 16, Elapsed: 30 * time.Minute, TimeLimit: time.Hour}
+	if got := e.Remaining(r); got != 30*time.Minute {
+		t.Errorf("Remaining = %v, want clamped 30m", got)
+	}
+	w := lrm.QueuedJob{Count: 16, TimeLimit: 2 * time.Hour}
+	if got := e.Runtime(w); got != 2*time.Hour {
+		t.Errorf("Runtime = %v, want clamped 2h", got)
+	}
+}
+
+func TestNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := time.Hour
+	if got := Noisy(base, 0, rng.NormFloat64); got != base {
+		t.Errorf("sigma 0 changed the value: %v", got)
+	}
+	same := true
+	for i := 0; i < 10; i++ {
+		if Noisy(base, 1.0, rng.NormFloat64) != base {
+			same = false
+		}
+	}
+	if same {
+		t.Error("sigma 1 never perturbed the value")
+	}
+	// Noise is multiplicative: result stays positive.
+	for i := 0; i < 100; i++ {
+		if Noisy(base, 2.0, rng.NormFloat64) <= 0 {
+			t.Fatal("noisy forecast went non-positive")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package rpc
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+func TestMalformedFramesIgnored(t *testing.T) {
+	sim, a, b := newPair(t)
+	startEcho(t, sim, b)
+	err := sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "echo"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		// Splice garbage onto the wire before real traffic.
+		conn.Send([]byte("not json at all"))
+		conn.Send([]byte(`{"kind": 42}`))
+		conn.Send([]byte(`{"kind":"call"}`)) // no method: handler errors, reply dropped by client (no id)
+		c := NewClient(sim, conn)
+		var reply echoReply
+		if err := c.Call("echo", echoArgs{Text: "still works"}, &reply, time.Minute); err != nil {
+			t.Errorf("Call after garbage: %v", err)
+			return
+		}
+		if reply.Text != "still works" {
+			t.Errorf("reply = %q", reply.Text)
+		}
+		c.Close()
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	sim, a, b := newPair(t)
+	startEcho(t, sim, b)
+	err := sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "echo"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		c.Close()
+		sim.Sleep(10 * time.Millisecond) // let the demux observe the close
+		if err := c.Call("echo", echoArgs{Text: "x"}, nil, time.Minute); err != ErrClosed {
+			t.Errorf("Call after Close = %v, want ErrClosed", err)
+		}
+		if err := c.Notify("poke", nil); err != ErrClosed {
+			t.Errorf("Notify after Close = %v, want ErrClosed", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestUnknownMethodViaHandlerFuncsNil(t *testing.T) {
+	sim, a, b := newPair(t)
+	l, err := b.Listen("empty")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	Serve(sim, l, HandlerFuncs{}, nil) // no Call func at all
+	err = sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "empty"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		defer c.Close()
+		err = c.Call("anything", nil, nil, time.Minute)
+		if _, ok := err.(RemoteError); !ok {
+			t.Errorf("Call = %v, want RemoteError", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestServerPushAfterClientGoneIsHarmless(t *testing.T) {
+	sim, a, b := newPair(t)
+	l, err := b.Listen("pusher")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	pushed := vtime.NewChan[error](sim, "pushed", 1)
+	Serve(sim, l, HandlerFuncs{
+		NotifyFunc: func(sc *ServerConn, method string, body json.RawMessage) {
+			// Reply long after the client hung up.
+			sim.Sleep(5 * time.Second)
+			pushed.Send(sc.Notify("late", nil))
+		},
+	}, nil)
+	err = sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "pusher"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		c.Notify("poke", nil)
+		sim.Sleep(time.Second)
+		c.Close()
+		// The server's late push must not panic or wedge anything; it may
+		// error or be dropped.
+		if _, res := pushed.RecvTimeout(time.Minute); res != vtime.RecvOK {
+			t.Errorf("server never finished its late push: %v", res)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestNotificationBufferOverflowDropsNotBlocks(t *testing.T) {
+	sim, a, b := newPair(t)
+	l, err := b.Listen("flood")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	Serve(sim, l, HandlerFuncs{
+		NotifyFunc: func(sc *ServerConn, method string, body json.RawMessage) {
+			for i := 0; i < 1000; i++ { // past the client's 256 buffer
+				sc.Notify("spam", nil)
+			}
+		},
+	}, nil)
+	err = sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "flood"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		defer c.Close()
+		c.Notify("go", nil)
+		sim.Sleep(time.Second)
+		// The client is alive despite the flood; drain what was kept.
+		kept := 0
+		for {
+			if _, ok := c.Notifications().TryRecv(); !ok {
+				break
+			}
+			kept++
+		}
+		if kept == 0 || kept > 256 {
+			t.Errorf("kept %d notifications, want (0,256]", kept)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}

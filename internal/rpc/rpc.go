@@ -1,0 +1,367 @@
+// Package rpc provides a small request/reply and notification protocol
+// over simulated transport connections.
+//
+// A connection carries JSON envelopes. Calls expect a matching reply;
+// notifications are one-way and may flow in either direction, which is how
+// GRAM delivers asynchronous job-state callbacks to a connected client.
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// Errors returned by RPC operations.
+var (
+	ErrTimeout = errors.New("rpc: call timed out")
+	ErrClosed  = errors.New("rpc: connection closed")
+)
+
+// RemoteError is an application-level error string returned by the remote
+// handler.
+type RemoteError string
+
+func (e RemoteError) Error() string { return string(e) }
+
+const (
+	kindCall   = "call"
+	kindReply  = "reply"
+	kindNotify = "notify"
+)
+
+type envelope struct {
+	ID     uint64          `json:"id,omitempty"`
+	Kind   string          `json:"kind"`
+	Method string          `json:"method,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// Notification is an incoming one-way message.
+type Notification struct {
+	Method string
+	Body   json.RawMessage
+}
+
+// Decode unmarshals the notification body into v.
+func (n Notification) Decode(v any) error {
+	if len(n.Body) == 0 {
+		return nil
+	}
+	return json.Unmarshal(n.Body, v)
+}
+
+// Client issues calls and notifications over a connection and surfaces
+// remote-initiated notifications. Create with NewClient; a demux daemon
+// owns the receive side of the connection.
+type Client struct {
+	sim  *vtime.Sim
+	conn *transport.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*vtime.Chan[envelope]
+	closed  bool
+
+	notifications *vtime.Chan[Notification]
+}
+
+// NewClient wraps conn. The caller must not use conn directly afterwards.
+func NewClient(sim *vtime.Sim, conn *transport.Conn) *Client {
+	c := &Client{
+		sim:           sim,
+		conn:          conn,
+		pending:       make(map[uint64]*vtime.Chan[envelope]),
+		notifications: vtime.NewChan[Notification](sim, "rpc-notify:"+conn.LocalAddr().String(), 256),
+	}
+	sim.GoDaemon("rpc-demux:"+conn.LocalAddr().String(), c.demux)
+	return c
+}
+
+// Notifications returns the stream of remote-initiated notifications. The
+// channel closes when the connection closes.
+func (c *Client) Notifications() *vtime.Chan[Notification] { return c.notifications }
+
+// Conn returns the underlying connection's remote address.
+func (c *Client) RemoteAddr() transport.Addr { return c.conn.RemoteAddr() }
+
+func (c *Client) demux() {
+	for {
+		raw, err := c.conn.Recv()
+		if err != nil {
+			c.shutdown()
+			return
+		}
+		var env envelope
+		if json.Unmarshal(raw, &env) != nil {
+			continue // malformed frame: drop
+		}
+		switch env.Kind {
+		case kindReply:
+			c.mu.Lock()
+			ch := c.pending[env.ID]
+			delete(c.pending, env.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch.TrySend(env)
+			}
+		case kindNotify:
+			c.notifications.TrySend(Notification{Method: env.Method, Body: env.Body})
+		}
+	}
+}
+
+func (c *Client) shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pending := c.pending
+	c.pending = make(map[uint64]*vtime.Chan[envelope])
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch.Close()
+	}
+	c.notifications.Close()
+}
+
+// Close tears down the connection. Pending calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.conn.Close()
+	c.shutdown()
+}
+
+// Call sends a request and waits up to timeout for the reply, decoding it
+// into reply (which may be nil). Remote handler errors come back as
+// RemoteError.
+func (c *Client) Call(method string, arg, reply any, timeout time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := vtime.NewChan[envelope](c.sim, fmt.Sprintf("rpc-reply:%d", id), 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.send(envelope{ID: id, Kind: kindCall, Method: method}, arg); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	env, res := ch.RecvTimeout(timeout)
+	switch res {
+	case vtime.RecvClosed:
+		return ErrClosed
+	case vtime.RecvTimedOut:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ErrTimeout
+	}
+	if env.Error != "" {
+		return RemoteError(env.Error)
+	}
+	if reply != nil && len(env.Body) > 0 {
+		return json.Unmarshal(env.Body, reply)
+	}
+	return nil
+}
+
+// Notify sends a one-way message.
+func (c *Client) Notify(method string, arg any) error {
+	return c.send(envelope{Kind: kindNotify, Method: method}, arg)
+}
+
+func (c *Client) send(env envelope, arg any) error {
+	if arg != nil {
+		body, err := json.Marshal(arg)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal %s: %w", env.Method, err)
+		}
+		env.Body = body
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal envelope: %w", err)
+	}
+	if err := c.conn.Send(raw); err != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// ServerConn is the server's view of one accepted connection. Handlers may
+// use it to push notifications back to the client (e.g. GRAM state
+// callbacks) and to close the connection.
+type ServerConn struct {
+	sim  *vtime.Sim
+	conn *transport.Conn
+	mu   sync.Mutex
+	// Meta carries the preamble's result, e.g. the authenticated identity
+	// established by a GSI handshake.
+	Meta any
+}
+
+// RemoteAddr returns the client's address.
+func (sc *ServerConn) RemoteAddr() transport.Addr { return sc.conn.RemoteAddr() }
+
+// Notify pushes a one-way message to the client.
+func (sc *ServerConn) Notify(method string, arg any) error {
+	env := envelope{Kind: kindNotify, Method: method}
+	if arg != nil {
+		body, err := json.Marshal(arg)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal %s: %w", method, err)
+		}
+		env.Body = body
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if err := sc.conn.Send(raw); err != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (sc *ServerConn) Close() { sc.conn.Close() }
+
+// Handler processes inbound calls and notifications. HandleCall runs
+// synchronously in the per-connection loop: its execution time (e.g. a
+// simulated initgroups lookup) delays only that connection.
+type Handler interface {
+	HandleCall(sc *ServerConn, method string, body json.RawMessage) (any, error)
+	HandleNotify(sc *ServerConn, method string, body json.RawMessage)
+}
+
+// Preamble runs on each new server connection before any envelope is
+// processed (e.g. the server side of a GSI handshake). Returning an error
+// rejects the connection; the returned value is stored in ServerConn.Meta.
+type Preamble func(conn *transport.Conn) (any, error)
+
+// Server accepts connections on a listener and dispatches envelopes to a
+// Handler.
+type Server struct {
+	sim      *vtime.Sim
+	listener *transport.Listener
+	handler  Handler
+	preamble Preamble
+}
+
+// Serve starts accepting on l, running preamble (optional) then the
+// envelope loop for each connection. It returns immediately; daemons do
+// the work.
+func Serve(sim *vtime.Sim, l *transport.Listener, handler Handler, preamble Preamble) *Server {
+	srv := &Server{sim: sim, listener: l, handler: handler, preamble: preamble}
+	sim.GoDaemon("rpc-accept:"+l.Addr().String(), srv.acceptLoop)
+	return srv
+}
+
+// Addr returns the served address.
+func (s *Server) Addr() transport.Addr { return s.listener.Addr() }
+
+// Close stops accepting new connections.
+func (s *Server) Close() { s.listener.Close() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, ok := s.listener.Accept()
+		if !ok {
+			return
+		}
+		s.sim.GoDaemon("rpc-conn:"+conn.RemoteAddr().String(), func() {
+			s.serveConn(conn)
+		})
+	}
+}
+
+func (s *Server) serveConn(conn *transport.Conn) {
+	var meta any
+	if s.preamble != nil {
+		m, err := s.preamble(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		meta = m
+	}
+	sc := &ServerConn{sim: s.sim, conn: conn, Meta: meta}
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var env envelope
+		if json.Unmarshal(raw, &env) != nil {
+			continue
+		}
+		switch env.Kind {
+		case kindCall:
+			result, err := s.handler.HandleCall(sc, env.Method, env.Body)
+			reply := envelope{ID: env.ID, Kind: kindReply}
+			if err != nil {
+				reply.Error = err.Error()
+			} else if result != nil {
+				body, merr := json.Marshal(result)
+				if merr != nil {
+					reply.Error = "rpc: marshal reply: " + merr.Error()
+				} else {
+					reply.Body = body
+				}
+			}
+			raw, merr := json.Marshal(reply)
+			if merr != nil {
+				continue
+			}
+			if conn.Send(raw) != nil {
+				return
+			}
+		case kindNotify:
+			s.handler.HandleNotify(sc, env.Method, env.Body)
+		}
+	}
+}
+
+// HandlerFuncs adapts plain functions to the Handler interface. Nil fields
+// reject calls with an error / ignore notifications.
+type HandlerFuncs struct {
+	Call       func(sc *ServerConn, method string, body json.RawMessage) (any, error)
+	NotifyFunc func(sc *ServerConn, method string, body json.RawMessage)
+}
+
+// HandleCall implements Handler.
+func (h HandlerFuncs) HandleCall(sc *ServerConn, method string, body json.RawMessage) (any, error) {
+	if h.Call == nil {
+		return nil, fmt.Errorf("rpc: no handler for %s", method)
+	}
+	return h.Call(sc, method, body)
+}
+
+// HandleNotify implements Handler.
+func (h HandlerFuncs) HandleNotify(sc *ServerConn, method string, body json.RawMessage) {
+	if h.NotifyFunc != nil {
+		h.NotifyFunc(sc, method, body)
+	}
+}
+
+// Decode unmarshals a call body into v, tolerating an empty body.
+func Decode(body json.RawMessage, v any) error {
+	if len(body) == 0 {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,38 @@
+package rsl_test
+
+import (
+	"fmt"
+
+	"cogrid/internal/rsl"
+)
+
+// Parse the paper's Figure 1 request and inspect a subjob.
+func ExampleParse() {
+	node, err := rsl.Parse(`+(&(resourceManagerContact=RM1)(count=1)(executable=master)(subjobStartType=required))
+	                         (&(resourceManagerContact=RM2)(count=4)(executable=worker)(subjobStartType=interactive))`)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	subjobs, _ := rsl.Subrequests(node)
+	fmt.Println("subjobs:", len(subjobs))
+	count, _, _ := rsl.GetInt(subjobs[1], "count", nil)
+	exe, _, _ := rsl.GetString(subjobs[1], "executable", nil)
+	fmt.Printf("subjob 1: %d x %s\n", count, exe)
+	// Output:
+	// subjobs: 2
+	// subjob 1: 4 x worker
+}
+
+// Variables let one template serve many submissions.
+func ExampleSubstitute() {
+	node := rsl.MustParse(`&(executable=$(APP))(count=8)`)
+	bound, err := rsl.Substitute(node, rsl.Bindings{"APP": "/opt/sim/bin/flow"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(bound)
+	// Output:
+	// &(executable=/opt/sim/bin/flow)(count=8)
+}

@@ -1,0 +1,71 @@
+package rsl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics, whatever bytes it is fed; it either
+// returns a tree or a *SyntaxError.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		node, err := Parse(src)
+		if err == nil && node == nil {
+			return false
+		}
+		if err != nil {
+			if _, isSyntax := err.(*SyntaxError); !isSyntax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: successful parses survive String -> Parse round trips.
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(src string) bool {
+		node, err := Parse(src)
+		if err != nil {
+			return true // nothing to round-trip
+		}
+		again, err := Parse(node.String())
+		return err == nil && Equal(node, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A grab bag of strange-but-valid inputs, ensuring the lexer's token
+// classes stay stable.
+func TestParseOddButValid(t *testing.T) {
+	cases := []string{
+		`a=1`,
+		`&(a=1)`,
+		`&( a = 1 )`,
+		"\t&\n(a=1)\r\n",
+		`&(a=())`,
+		`&(a=((x) (y)))`,
+		`&(path=/usr/local/bin/app-1.2_3)`,
+		`&(contact=host.domain.org:gram)`,
+		`&(expr=a*b?c~d%e,f)`,
+		`|(&(a=1))(&(a=2))(&(a=3))`,
+		`+(&(a=1))`,
+		`&(s="")`,
+		`&(s="()&|+=<>!")`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}

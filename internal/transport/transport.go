@@ -1,0 +1,577 @@
+// Package transport implements a simulated message network over the vtime
+// kernel: named hosts, service listeners, reliable in-order connections
+// with configurable latency, and failure injection (crash, hang,
+// partition).
+//
+// The failure model distinguishes the two failure visibilities the paper
+// cares about: a *crash* closes connections so peers get an explicit error,
+// while a *hang* silently drops traffic so peers observe only lack of
+// progress and must rely on timeouts.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cogrid/internal/vtime"
+)
+
+// Errors returned by transport operations.
+var (
+	ErrHostDown    = errors.New("transport: local host is down")
+	ErrRefused     = errors.New("transport: connection refused")
+	ErrDialTimeout = errors.New("transport: dial timed out")
+	ErrClosed      = errors.New("transport: connection closed")
+	ErrRecvTimeout = errors.New("transport: receive timed out")
+)
+
+// Addr names a service endpoint as host:service.
+type Addr struct {
+	Host    string
+	Service string
+}
+
+func (a Addr) String() string { return a.Host + ":" + a.Service }
+
+// ParseAddr splits "host:service" into an Addr.
+func ParseAddr(s string) (Addr, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			if i == 0 || i == len(s)-1 {
+				break
+			}
+			return Addr{Host: s[:i], Service: s[i+1:]}, nil
+		}
+	}
+	return Addr{}, fmt.Errorf("transport: malformed address %q", s)
+}
+
+// LatencyModel yields the one-way message latency between two hosts.
+type LatencyModel interface {
+	Latency(from, to string) time.Duration
+}
+
+// UniformLatency is a LatencyModel with a single inter-host latency and
+// zero latency between co-located endpoints.
+type UniformLatency time.Duration
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(from, to string) time.Duration {
+	if from == to {
+		return 0
+	}
+	return time.Duration(u)
+}
+
+// MatrixLatency is a LatencyModel with per-host-pair latencies. Pairs are
+// symmetric; missing pairs fall back to Default.
+type MatrixLatency struct {
+	Default time.Duration
+	mu      sync.Mutex
+	pairs   map[[2]string]time.Duration
+}
+
+// NewMatrixLatency creates a MatrixLatency with the given fallback.
+func NewMatrixLatency(def time.Duration) *MatrixLatency {
+	return &MatrixLatency{Default: def, pairs: make(map[[2]string]time.Duration)}
+}
+
+// Set assigns the symmetric latency between hosts a and b.
+func (m *MatrixLatency) Set(a, b string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pairs[pairKey(a, b)] = d
+}
+
+// Latency implements LatencyModel.
+func (m *MatrixLatency) Latency(from, to string) time.Duration {
+	if from == to {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.pairs[pairKey(from, to)]; ok {
+		return d
+	}
+	return m.Default
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// hostState models the failure condition of a host.
+type hostState int
+
+const (
+	hostUp hostState = iota
+	hostCrashed
+	hostHung
+)
+
+// Network is a simulated network of hosts.
+type Network struct {
+	sim     *vtime.Sim
+	latency LatencyModel
+
+	mu         sync.Mutex
+	hosts      map[string]*Host
+	partitions map[[2]string]bool
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// New creates a network on sim with the given latency model.
+func New(sim *vtime.Sim, latency LatencyModel) *Network {
+	return &Network{
+		sim:        sim,
+		latency:    latency,
+		hosts:      make(map[string]*Host),
+		partitions: make(map[[2]string]bool),
+	}
+}
+
+// Sim returns the kernel the network runs on.
+func (n *Network) Sim() *vtime.Sim { return n.sim }
+
+// Messages returns the total number of payload messages sent.
+func (n *Network) Messages() int64 { return n.msgs.Load() }
+
+// Bytes returns the total payload bytes sent.
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// AddHost registers a host by name. Adding an existing name returns the
+// existing host.
+func (n *Network) AddHost(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	h := &Host{
+		net:       n,
+		name:      name,
+		listeners: make(map[string]*Listener),
+		conns:     make(map[*Conn]struct{}),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns the named host, or nil if it was never added.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+// Partition severs connectivity between hosts a and b: packets in either
+// direction are silently dropped and new dials time out.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = true
+}
+
+// Heal restores connectivity between hosts a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+}
+
+// Partitioned reports whether hosts a and b are partitioned.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitions[pairKey(a, b)]
+}
+
+// deliverable reports whether a packet sent now from one host would reach
+// the other, considering partitions and remote failure state.
+func (n *Network) deliverable(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitions[pairKey(from, to)] {
+		return false
+	}
+	h, ok := n.hosts[to]
+	return ok && h.state == hostUp
+}
+
+// Host is a simulated machine on the network.
+type Host struct {
+	net   *Network
+	name  string
+	state hostState
+
+	listeners map[string]*Listener
+	conns     map[*Conn]struct{}
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Up reports whether the host is neither crashed nor hung.
+func (h *Host) Up() bool {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	return h.state == hostUp
+}
+
+// Crash fails the host with detectable semantics: all its connections are
+// closed (peers observe ErrClosed) and its listeners stop accepting.
+func (h *Host) Crash() { h.fail(hostCrashed) }
+
+// Hang fails the host silently: connections stay open but all traffic to
+// and from it is dropped, so peers observe only lack of progress.
+func (h *Host) Hang() {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if h.state == hostUp {
+		h.state = hostHung
+	}
+}
+
+func (h *Host) fail(to hostState) {
+	h.net.mu.Lock()
+	h.state = to
+	conns := make([]*Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.conns = make(map[*Conn]struct{})
+	listeners := make([]*Listener, 0, len(h.listeners))
+	for _, l := range h.listeners {
+		listeners = append(listeners, l)
+	}
+	h.listeners = make(map[string]*Listener)
+	h.net.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range listeners {
+		l.close(false)
+	}
+}
+
+// Restore brings a hung host back. A crashed host stays down: its
+// listeners and connections are gone; re-create services explicitly after
+// RestoreCrashed.
+func (h *Host) Restore() {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if h.state == hostHung {
+		h.state = hostUp
+	}
+}
+
+// RestoreCrashed boots a crashed host back up with no listeners or
+// connections.
+func (h *Host) RestoreCrashed() {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	h.state = hostUp
+}
+
+// Listen registers a service listener on the host.
+func (h *Host) Listen(service string) (*Listener, error) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if h.state != hostUp {
+		return nil, ErrHostDown
+	}
+	if _, exists := h.listeners[service]; exists {
+		return nil, fmt.Errorf("transport: service %q already listening on %s", service, h.name)
+	}
+	l := &Listener{
+		host:    h,
+		service: service,
+		accept:  vtime.NewChan[*Conn](h.net.sim, "accept:"+h.name+":"+service, 64),
+	}
+	h.listeners[service] = l
+	return l, nil
+}
+
+// DialTimeout is the default timeout for Dial attempts into a partition or
+// a hung host.
+const DialTimeout = 30 * time.Second
+
+// Dial opens a connection from this host to a remote service. Connection
+// establishment costs one round trip. Dialing a crashed host or a missing
+// service is refused after one round trip; dialing through a partition or
+// into a hung host times out after DialTimeout.
+func (h *Host) Dial(to Addr) (*Conn, error) {
+	n := h.net
+	n.mu.Lock()
+	if h.state != hostUp {
+		n.mu.Unlock()
+		return nil, ErrHostDown
+	}
+	n.mu.Unlock()
+
+	oneWay := n.latency.Latency(h.name, to.Host)
+	// SYN retransmission: an unreachable peer (partition, crash, hang)
+	// never answers, but the dialer keeps retrying within its timeout, so
+	// a transient partition that heals mid-dial still connects.
+	const synRetry = time.Second
+	deadline := n.sim.Now() + DialTimeout
+	for !n.deliverable(h.name, to.Host) {
+		remaining := deadline - n.sim.Now()
+		if remaining <= 0 {
+			return nil, ErrDialTimeout
+		}
+		if remaining < synRetry {
+			n.sim.Sleep(remaining)
+		} else {
+			n.sim.Sleep(synRetry)
+		}
+	}
+	n.sim.Sleep(oneWay) // SYN
+
+	n.mu.Lock()
+	remote, ok := n.hosts[to.Host]
+	var l *Listener
+	if ok && remote.state == hostUp {
+		l = remote.listeners[to.Service]
+	}
+	refused := l == nil
+	var client, server *Conn
+	if !refused {
+		client, server = newConnPair(n, Addr{h.name, "client"}, to)
+		h.conns[client] = struct{}{}
+		remote.conns[server] = struct{}{}
+	}
+	n.mu.Unlock()
+
+	n.sim.Sleep(oneWay) // SYN-ACK
+	if refused {
+		return nil, ErrRefused
+	}
+	if !l.accept.TrySend(server) {
+		// Accept backlog full: refuse.
+		client.Close()
+		return nil, ErrRefused
+	}
+	return client, nil
+}
+
+// Listener accepts inbound connections for one service.
+type Listener struct {
+	host    *Host
+	service string
+	accept  *vtime.Chan[*Conn]
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() Addr { return Addr{Host: l.host.name, Service: l.service} }
+
+// Accept blocks until a connection arrives; ok is false once the listener
+// is closed.
+func (l *Listener) Accept() (*Conn, bool) {
+	return l.accept.Recv()
+}
+
+// Close stops the listener and deregisters the service.
+func (l *Listener) Close() { l.close(true) }
+
+func (l *Listener) close(deregister bool) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if deregister {
+		l.host.net.mu.Lock()
+		if l.host.listeners[l.service] == l {
+			delete(l.host.listeners, l.service)
+		}
+		l.host.net.mu.Unlock()
+	}
+	l.accept.Close()
+}
+
+// outMsg is an entry in a connection's delivery pipeline.
+type outMsg struct {
+	payload   []byte
+	deliverAt time.Duration
+	fin       bool
+}
+
+// Conn is one end of a reliable, in-order, message-oriented connection.
+type Conn struct {
+	net    *Network
+	local  Addr
+	remote Addr
+	in     *vtime.Chan[[]byte]
+	out    *vtime.Chan[outMsg]
+	peer   *Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newConnPair builds both ends of a connection along with their delivery
+// daemons. Caller holds n.mu.
+func newConnPair(n *Network, clientAddr, serverAddr Addr) (client, server *Conn) {
+	mk := func(local, remote Addr) *Conn {
+		tag := local.String() + "->" + remote.String()
+		return &Conn{
+			net:    n,
+			local:  local,
+			remote: remote,
+			in:     vtime.NewChan[[]byte](n.sim, "in:"+tag, 4096),
+			out:    vtime.NewChan[outMsg](n.sim, "out:"+tag, 4096),
+		}
+	}
+	client = mk(clientAddr, serverAddr)
+	server = mk(serverAddr, clientAddr)
+	client.peer = server
+	server.peer = client
+	n.sim.GoDaemon("deliver:"+clientAddr.String(), client.deliverLoop)
+	n.sim.GoDaemon("deliver:"+serverAddr.String(), server.deliverLoop)
+	return client, server
+}
+
+// deliverLoop moves messages from this end's out queue into the peer's
+// inbox after the appropriate latency, preserving FIFO order.
+func (c *Conn) deliverLoop() {
+	for {
+		m, ok := c.out.Recv()
+		if !ok {
+			return
+		}
+		c.net.sim.SleepUntil(m.deliverAt)
+		if m.fin {
+			c.peer.markClosed()
+			return
+		}
+		if !c.net.deliverable(c.local.Host, c.remote.Host) {
+			continue // dropped in flight
+		}
+		c.peer.in.TrySend(m.payload) // inbox overflow drops, like UDP under DoS
+	}
+}
+
+// LocalAddr returns this end's address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Send transmits payload to the peer. It fails if the connection is closed
+// or the local host is down; a partition or remote failure silently drops
+// the message instead (the peer sees lack of progress, not an error).
+func (c *Conn) Send(payload []byte) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	n := c.net
+	n.mu.Lock()
+	h := n.hosts[c.local.Host]
+	localUp := h != nil && h.state == hostUp
+	n.mu.Unlock()
+	if !localUp {
+		return ErrHostDown
+	}
+	if !n.deliverable(c.local.Host, c.remote.Host) {
+		return nil // silently dropped
+	}
+	n.msgs.Add(1)
+	n.bytes.Add(int64(len(payload)))
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	// TrySend: if the delivery queue is full (extreme overload) or the
+	// connection raced with a close, the message is dropped rather than
+	// blocking the sender while it holds no kernel context.
+	c.out.TrySend(outMsg{
+		payload:   buf,
+		deliverAt: n.sim.Now() + n.latency.Latency(c.local.Host, c.remote.Host),
+	})
+	return nil
+}
+
+// Recv blocks until a message arrives. It returns ErrClosed once the
+// connection is closed and drained.
+func (c *Conn) Recv() ([]byte, error) {
+	b, ok := c.in.Recv()
+	if !ok {
+		return nil, ErrClosed
+	}
+	return b, nil
+}
+
+// RecvTimeout blocks until a message arrives or d of virtual time elapses.
+func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
+	b, res := c.in.RecvTimeout(d)
+	switch res {
+	case vtime.RecvOK:
+		return b, nil
+	case vtime.RecvClosed:
+		return nil, ErrClosed
+	default:
+		return nil, ErrRecvTimeout
+	}
+}
+
+// Close closes this end immediately and, after one-way latency, the peer's
+// end (the peer drains buffered messages first). Closing twice is a no-op.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	n := c.net
+	n.mu.Lock()
+	if h := n.hosts[c.local.Host]; h != nil {
+		delete(h.conns, c)
+	}
+	n.mu.Unlock()
+
+	c.in.Close()
+	c.out.TrySend(outMsg{
+		deliverAt: n.sim.Now() + n.latency.Latency(c.local.Host, c.remote.Host),
+		fin:       true,
+	})
+	c.out.Close()
+}
+
+// markClosed closes the receive side in response to a peer FIN.
+func (c *Conn) markClosed() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	n := c.net
+	n.mu.Lock()
+	if h := n.hosts[c.local.Host]; h != nil {
+		delete(h.conns, c)
+	}
+	n.mu.Unlock()
+	c.in.Close()
+	c.out.Close()
+}

@@ -1,0 +1,381 @@
+// Package vtime implements a deterministic discrete-event virtual-time
+// kernel for simulating distributed systems.
+//
+// Simulated processes are ordinary goroutines registered with a Sim via
+// [Sim.Go] or [Sim.GoDaemon]. All blocking inside the simulation must go
+// through kernel primitives — [Sim.Sleep], [Chan] operations, [WaitGroup],
+// [Event] — so the kernel can account for runnable processes. Virtual time
+// advances only when every registered process is blocked: the kernel then
+// jumps the clock to the earliest pending timer and fires it. This makes
+// timing exact (no wall-clock jitter) and fast (simulated seconds cost
+// microseconds of real time).
+//
+// Processes may use plain sync.Mutex for instantaneous critical sections,
+// but must never block on ordinary Go channels or hold a mutex across a
+// kernel blocking call; doing so breaks runnable accounting.
+//
+// If every live non-daemon process is blocked and no timers are pending,
+// the simulation has deadlocked: the kernel records a *DeadlockError
+// describing each blocked process and terminates the run, and [Sim.Wait]
+// returns the error.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sim is a discrete-event simulation kernel. Create one with New or
+// NewSeeded; a zero Sim is not usable.
+type Sim struct {
+	mu        sync.Mutex
+	now       time.Duration
+	seq       uint64 // tiebreaker for timers scheduled at the same instant
+	runnable  int    // processes currently executing (not blocked in the kernel)
+	alive     int    // non-daemon processes that have not exited
+	started   bool   // at least one non-daemon process was spawned
+	completed bool   // all non-daemon processes exited, or deadlock detected
+	timers    timerHeap
+	waiting   map[uint64]*waitInfo
+	nextWait  uint64
+	done      chan struct{}
+	deadlock  *DeadlockError
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// waitInfo describes one blocked process, for deadlock reports.
+type waitInfo struct {
+	id     uint64
+	kind   string
+	detail string
+	since  time.Duration
+}
+
+// DeadlockError reports that every live process was blocked with no pending
+// timers. Blocked lists a human-readable description of each blocked
+// process at the moment of detection.
+type DeadlockError struct {
+	Now     time.Duration
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at t=%v: %d blocked: [%s]",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// New returns a kernel seeded deterministically (seed 1).
+func New() *Sim { return NewSeeded(1) }
+
+// NewSeeded returns a kernel whose random source is seeded with seed.
+func NewSeeded(seed int64) *Sim {
+	return &Sim{
+		waiting: make(map[uint64]*waitInfo),
+		done:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (s *Sim) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go spawns fn as a simulated process. The simulation is complete when all
+// non-daemon processes have returned.
+func (s *Sim) Go(name string, fn func()) { s.spawn(name, fn, false) }
+
+// GoDaemon spawns fn as a daemon process. Daemons (servers, background
+// monitors) do not keep the simulation alive: once every non-daemon process
+// has exited, the simulation completes and any still-blocked daemons are
+// abandoned.
+func (s *Sim) GoDaemon(name string, fn func()) { s.spawn(name, fn, true) }
+
+func (s *Sim) spawn(name string, fn func(), daemon bool) {
+	s.mu.Lock()
+	if s.completed {
+		s.mu.Unlock()
+		return
+	}
+	s.runnable++
+	if !daemon {
+		s.alive++
+		s.started = true
+	}
+	s.mu.Unlock()
+	go func() {
+		defer s.procExit(daemon)
+		fn()
+	}()
+}
+
+func (s *Sim) procExit(daemon bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runnable--
+	if !daemon {
+		s.alive--
+		if s.alive == 0 && !s.completed {
+			s.completed = true
+			close(s.done)
+			return
+		}
+	}
+	if s.runnable == 0 && !s.completed {
+		s.advanceLocked()
+	}
+}
+
+// Wait blocks the calling (real) goroutine until the simulation completes:
+// every non-daemon process has exited, or a deadlock was detected. It
+// returns the *DeadlockError in the latter case. At least one non-daemon
+// process must have been spawned before calling Wait.
+func (s *Sim) Wait() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		panic("vtime: Wait called before any process was spawned")
+	}
+	s.mu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deadlock != nil {
+		return s.deadlock
+	}
+	return nil
+}
+
+// Run spawns fn as a non-daemon process and waits for the simulation to
+// complete. It is shorthand for Go followed by Wait.
+func (s *Sim) Run(name string, fn func()) error {
+	s.Go(name, fn)
+	return s.Wait()
+}
+
+// Sleep suspends the calling process for d of virtual time. A non-positive
+// d returns immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	s.mu.Lock()
+	if s.completed {
+		s.mu.Unlock()
+		parkForever()
+	}
+	if d <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	park := make(chan struct{}, 1)
+	wid := s.addWaitLocked("sleep", fmt.Sprintf("until t=%v", s.now+d))
+	s.pushTimerLocked(s.now+d, func() {
+		s.wakeLocked(wid, park)
+	})
+	s.blockLocked()
+	s.mu.Unlock()
+	<-park
+}
+
+// SleepUntil suspends the calling process until virtual time t. If t is not
+// in the future it returns immediately.
+func (s *Sim) SleepUntil(t time.Duration) {
+	s.mu.Lock()
+	d := t - s.now
+	s.mu.Unlock()
+	s.Sleep(d)
+}
+
+// Timer is a handle to a callback scheduled with AfterFunc.
+type Timer struct {
+	s *Sim
+	t *timerEntry
+}
+
+// Stop cancels the timer. It reports whether the callback was prevented
+// from running.
+func (t *Timer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.t.cancelled || t.t.fired {
+		return false
+	}
+	t.t.cancelled = true
+	return true
+}
+
+// AfterFunc schedules fn to run as a new daemon process after d of virtual
+// time. fn may use all kernel primitives.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry := s.pushTimerLocked(s.now+d, func() {
+		// Runs under s.mu from advanceLocked: spawn without re-locking.
+		s.runnable++
+		go func() {
+			defer s.procExit(true)
+			fn()
+		}()
+	})
+	return &Timer{s: s, t: entry}
+}
+
+// --- random helpers (safe for concurrent use by processes) ---
+
+// RandFloat64 returns a pseudo-random float64 in [0,1).
+func (s *Sim) RandFloat64() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Float64()
+}
+
+// RandIntn returns a pseudo-random int in [0,n).
+func (s *Sim) RandIntn(n int) int {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// RandNorm returns a normally distributed float64 with mean 0 and
+// standard deviation 1.
+func (s *Sim) RandNorm() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.NormFloat64()
+}
+
+// RandExp returns an exponentially distributed float64 with rate 1.
+func (s *Sim) RandExp() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.ExpFloat64()
+}
+
+// --- kernel internals ---
+
+// blockLocked marks the calling process blocked. Must be called with s.mu
+// held; the caller must subsequently release s.mu and park on its wake
+// channel.
+func (s *Sim) blockLocked() {
+	s.runnable--
+	if s.runnable == 0 && !s.completed {
+		s.advanceLocked()
+	}
+}
+
+// wakeLocked makes one blocked process runnable and signals its parker.
+// Must be called with s.mu held.
+func (s *Sim) wakeLocked(wid uint64, park chan struct{}) {
+	delete(s.waiting, wid)
+	s.runnable++
+	park <- struct{}{}
+}
+
+func (s *Sim) addWaitLocked(kind, detail string) uint64 {
+	s.nextWait++
+	id := s.nextWait
+	s.waiting[id] = &waitInfo{id: id, kind: kind, detail: detail, since: s.now}
+	return id
+}
+
+// advanceLocked advances virtual time while no process is runnable, firing
+// timers in (time, insertion) order. Must be called with s.mu held and
+// s.runnable == 0.
+func (s *Sim) advanceLocked() {
+	if s.alive == 0 {
+		// No non-daemon process exists yet: the simulation has not
+		// started. Daemons (servers) parking before the first Go call is
+		// idle setup, not deadlock, and the clock stays at zero.
+		return
+	}
+	for s.runnable == 0 && !s.completed {
+		for len(s.timers) > 0 && s.timers[0].cancelled {
+			heap.Pop(&s.timers)
+		}
+		if len(s.timers) == 0 {
+			s.reportDeadlockLocked()
+			return
+		}
+		entry := heap.Pop(&s.timers).(*timerEntry)
+		if entry.when > s.now {
+			s.now = entry.when
+		}
+		entry.fired = true
+		entry.fn()
+	}
+}
+
+func (s *Sim) reportDeadlockLocked() {
+	infos := make([]*waitInfo, 0, len(s.waiting))
+	for _, w := range s.waiting {
+		infos = append(infos, w)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].id < infos[j].id })
+	blocked := make([]string, len(infos))
+	for i, w := range infos {
+		blocked[i] = fmt.Sprintf("%s %s (since t=%v)", w.kind, w.detail, w.since)
+	}
+	s.deadlock = &DeadlockError{Now: s.now, Blocked: blocked}
+	s.completed = true
+	close(s.done)
+}
+
+// parkForever parks the calling goroutine permanently. Used for daemons
+// that block after the simulation has completed.
+func parkForever() {
+	select {}
+}
+
+// --- timer heap ---
+
+type timerEntry struct {
+	when      time.Duration
+	seq       uint64
+	fn        func() // runs under s.mu
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+func (s *Sim) pushTimerLocked(when time.Duration, fn func()) *timerEntry {
+	s.seq++
+	entry := &timerEntry{when: when, seq: s.seq, fn: fn}
+	heap.Push(&s.timers, entry)
+	return entry
+}
+
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	entry := x.(*timerEntry)
+	entry.index = len(*h)
+	*h = append(*h, entry)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	entry := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return entry
+}

@@ -1,0 +1,194 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitGroupReleasesAtZero(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Second
+		s.Go("worker", func() {
+			s.Sleep(d)
+			wg.Done()
+		})
+	}
+	var end time.Duration
+	s.Go("main", func() {
+		wg.Wait()
+		end = s.Now()
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if end != 3*time.Second {
+		t.Fatalf("WaitGroup released at %v, want 3s (slowest worker)", end)
+	}
+}
+
+func TestWaitGroupWaitOnZeroReturnsImmediately(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	err := s.Run("main", func() {
+		wg.Wait()
+		if s.Now() != 0 {
+			t.Errorf("Wait on zero counter advanced time to %v", s.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWaitGroupWaitTimeout(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	wg.Add(1)
+	s.Go("slow", func() {
+		s.Sleep(10 * time.Second)
+		wg.Done()
+	})
+	err := s.Run("main", func() {
+		if wg.WaitTimeout(2 * time.Second) {
+			t.Error("WaitTimeout(2s) reported success with a 10s worker")
+		}
+		if s.Now() != 2*time.Second {
+			t.Errorf("timed out at %v, want 2s", s.Now())
+		}
+		if !wg.WaitTimeout(time.Hour) {
+			t.Error("second WaitTimeout failed")
+		}
+		if s.Now() != 10*time.Second {
+			t.Errorf("released at %v, want 10s", s.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	err := s.Run("main", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative counter did not panic")
+			}
+		}()
+		wg.Done()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWaitGroupCount(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	err := s.Run("main", func() {
+		wg.Add(5)
+		if wg.Count() != 5 {
+			t.Errorf("Count = %d, want 5", wg.Count())
+		}
+		wg.Add(-2)
+		if wg.Count() != 3 {
+			t.Errorf("Count = %d, want 3", wg.Count())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventBroadcastsToAllWaiters(t *testing.T) {
+	s := New()
+	ev := NewEvent(s, "go-signal")
+	const n = 5
+	released := NewChan[time.Duration](s, "released", n)
+	for i := 0; i < n; i++ {
+		s.Go("waiter", func() {
+			ev.Wait()
+			released.Send(s.Now())
+		})
+	}
+	s.Go("setter", func() {
+		s.Sleep(4 * time.Second)
+		ev.Set()
+	})
+	s.Go("main", func() {
+		for i := 0; i < n; i++ {
+			at, _ := released.Recv()
+			if at != 4*time.Second {
+				t.Errorf("waiter released at %v, want 4s", at)
+			}
+		}
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestEventWaitAfterSetReturnsImmediately(t *testing.T) {
+	s := New()
+	ev := NewEvent(s, "pre-set")
+	err := s.Run("main", func() {
+		ev.Set()
+		ev.Set() // idempotent
+		if !ev.IsSet() {
+			t.Error("IsSet false after Set")
+		}
+		ev.Wait()
+		if s.Now() != 0 {
+			t.Errorf("Wait on set event advanced time to %v", s.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventWaitTimeout(t *testing.T) {
+	s := New()
+	ev := NewEvent(s, "never-set")
+	err := s.Run("main", func() {
+		if ev.WaitTimeout(3 * time.Second) {
+			t.Error("WaitTimeout on unset event reported success")
+		}
+		if s.Now() != 3*time.Second {
+			t.Errorf("timed out at %v, want 3s", s.Now())
+		}
+		if ev.WaitTimeout(0) {
+			t.Error("WaitTimeout(0) on unset event reported success")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventAsKillSignalInterruptsSleepLoop(t *testing.T) {
+	// The pattern components use for interruptible work loops.
+	s := New()
+	kill := NewEvent(s, "kill")
+	var stoppedAt time.Duration
+	s.Go("worker", func() {
+		for !kill.WaitTimeout(time.Second) {
+			// one "work step" per second until killed
+		}
+		stoppedAt = s.Now()
+	})
+	s.Go("killer", func() {
+		s.Sleep(3500 * time.Millisecond)
+		kill.Set()
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if stoppedAt != 3500*time.Millisecond {
+		t.Fatalf("worker stopped at %v, want 3.5s", stoppedAt)
+	}
+}
