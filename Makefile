@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check quick vet build test race
+
+# The full verification gate (vet, build, test, race test).
+check:
+	sh scripts/check.sh
+
+# The same gate in -short mode: skips soak/stress tests.
+quick:
+	QUICK=1 sh scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

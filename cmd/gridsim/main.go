@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	gridsim [-f scenario.json] [-demo]
+//	gridsim [-f scenario.json | scenario.json] [-demo] [-trace out.json] [-counters]
+//
+// The scenario file may be given either with -f or as the positional
+// argument. -trace writes a Chrome trace_event file of the whole run
+// (open it in chrome://tracing or https://ui.perfetto.dev); -counters
+// prints the event-counter registry after the run.
 //
 // With -demo (or no flags) a built-in scenario runs: five machines, one
 // crashing mid-startup and one slow, handled by substitution from a spare
@@ -31,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -91,17 +97,23 @@ func main() {
 	file := flag.String("f", "", "scenario file (JSON)")
 	demo := flag.Bool("demo", false, "run the built-in demo scenario")
 	timeline := flag.Bool("timeline", false, "render the submission timeline and event history")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event file of the run")
+	counters := flag.Bool("counters", false, "print the event-counter registry after the run")
 	flag.Parse()
 
+	scenarioPath := *file
+	if scenarioPath == "" && flag.NArg() > 0 {
+		scenarioPath = flag.Arg(0)
+	}
 	var sc Scenario
 	switch {
-	case *file != "":
-		raw, err := os.ReadFile(*file)
+	case scenarioPath != "":
+		raw, err := os.ReadFile(scenarioPath)
 		if err != nil {
 			fatal(err)
 		}
 		if err := json.Unmarshal(raw, &sc); err != nil {
-			fatal(fmt.Errorf("%s: %v", *file, err))
+			fatal(fmt.Errorf("%s: %v", scenarioPath, err))
 		}
 	default:
 		_ = demo
@@ -109,7 +121,20 @@ func main() {
 		fmt.Println("gridsim: running the built-in demo scenario (see -f for custom ones)")
 	}
 	sc.Timeline = sc.Timeline || *timeline
-	if err := run(sc); err != nil {
+
+	var opts runOptions
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.TraceW = f
+	}
+	if *counters {
+		opts.CountersW = os.Stdout
+	}
+	if err := runWith(sc, opts); err != nil {
 		fatal(err)
 	}
 }
@@ -144,8 +169,22 @@ func demoScenario() Scenario {
 	}
 }
 
-func run(sc Scenario) error {
-	g := grid.New(grid.Options{Seed: sc.Seed, RecordTimeline: sc.Timeline})
+// runOptions selects observability outputs for one run.
+type runOptions struct {
+	// TraceW, when set, receives a Chrome trace_event JSON file of the run.
+	TraceW io.Writer
+	// CountersW, when set, receives the counter-registry table after the run.
+	CountersW io.Writer
+}
+
+func run(sc Scenario) error { return runWith(sc, runOptions{}) }
+
+func runWith(sc Scenario, opts runOptions) error {
+	g := grid.New(grid.Options{
+		Seed:           sc.Seed,
+		RecordTimeline: sc.Timeline,
+		Trace:          opts.TraceW != nil || opts.CountersW != nil,
+	})
 	for _, m := range sc.Machines {
 		mode := lrm.Fork
 		if m.Mode == "batch" {
@@ -264,6 +303,17 @@ func run(sc Scenario) error {
 			fmt.Print(g.Timeline.Render(96))
 		}
 	})
+	// Observability outputs are written even when the scenario failed —
+	// a trace of a failed co-allocation is exactly what one wants to read.
+	if opts.TraceW != nil {
+		if err := g.Tracer.WriteChromeTrace(opts.TraceW); err != nil {
+			return fmt.Errorf("write trace: %v", err)
+		}
+	}
+	if opts.CountersW != nil {
+		fmt.Fprintln(opts.CountersW, "\ncounters:")
+		fmt.Fprint(opts.CountersW, g.Counters.String())
+	}
 	if simErr != nil {
 		return simErr
 	}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// traceOf runs the figure1 scenario with tracing and returns the Chrome
+// trace bytes and the counter table.
+func traceOf(t *testing.T) ([]byte, string) {
+	t.Helper()
+	var trace, counters bytes.Buffer
+	sc := loadScenario(t, "figure1.json")
+	if err := runWith(sc, runOptions{TraceW: &trace, CountersW: &counters}); err != nil {
+		t.Fatalf("runWith: %v", err)
+	}
+	return trace.Bytes(), counters.String()
+}
+
+// Two runs of the same seeded scenario must produce byte-identical traces:
+// simulated processes may interleave arbitrarily in real time, but event
+// content and the export order are functions of virtual time only.
+func TestTraceIsDeterministic(t *testing.T) {
+	a, ca := traceOf(t)
+	b, cb := traceOf(t)
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed runs produced different trace bytes")
+	}
+	if ca != cb {
+		t.Error("same-seed runs produced different counter tables")
+	}
+}
+
+// The trace of a full co-allocation run must contain every layer's events:
+// transport hops, correlated RPC call/serve pairs, GRAM job state
+// transitions, and the DUROC commit and barrier phases.
+func TestTraceCoversAllLayers(t *testing.T) {
+	raw, counters := traceOf(t)
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			ID   string            `json:"id"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+
+	hops := 0
+	callIDs := map[string]bool{}
+	serveIDs := map[string]bool{}
+	states := map[string]bool{}
+	durocNames := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Cat == "transport" && ev.Name == "hop":
+			hops++
+		case ev.Cat == "rpc" && strings.HasPrefix(ev.Name, "call:"):
+			callIDs[ev.ID] = true
+		case ev.Cat == "rpc" && strings.HasPrefix(ev.Name, "serve:"):
+			serveIDs[ev.ID] = true
+		case ev.Cat == "gram" && strings.HasPrefix(ev.Name, "state:"):
+			states[strings.TrimPrefix(ev.Name, "state:")] = true
+		case ev.Cat == "duroc":
+			durocNames[ev.Name] = true
+		}
+	}
+	if hops == 0 {
+		t.Error("no transport hop spans")
+	}
+	if len(callIDs) == 0 {
+		t.Error("no rpc call spans")
+	}
+	for id := range callIDs {
+		if !serveIDs[id] {
+			t.Errorf("call %q has no serve span with the same correlation ID", id)
+		}
+	}
+	// Figure 1's jobs run to completion: both transitions must be traced.
+	for _, want := range []string{"ACTIVE", "DONE"} {
+		if !states[want] {
+			t.Errorf("no gram state:%s transition in trace (have %v)", want, states)
+		}
+	}
+	for _, want := range []string{"submit", "commit", "barrier", "barrier-enter", "release", "committed"} {
+		if !durocNames[want] {
+			t.Errorf("no duroc %q event in trace (have %v)", want, durocNames)
+		}
+	}
+	// One hop span per transport send: the hop count equals the sum of the
+	// per-host send counters.
+	var sends int
+	for _, line := range strings.Split(counters, "\n") {
+		if strings.HasPrefix(line, "transport.msgs.send@") {
+			fields := strings.Fields(line)
+			n, err := strconv.Atoi(fields[len(fields)-1])
+			if err != nil {
+				t.Fatalf("bad counter line %q: %v", line, err)
+			}
+			sends += n
+		}
+	}
+	if hops != sends {
+		t.Errorf("hop spans = %d, transport sends = %d; want equal", hops, sends)
+	}
+}

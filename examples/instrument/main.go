@@ -10,11 +10,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"cogrid/internal/core"
 	"cogrid/internal/grid"
 	"cogrid/internal/lrm"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 )
 
@@ -46,7 +48,9 @@ func recv(conn *transport.Conn, timeout time.Duration) (msg, error) {
 }
 
 func main() {
-	g := grid.New(grid.Options{Seed: 11})
+	// Trace the whole run: every layer (transport, rpc, gram, duroc) plus
+	// the application's own spans below share one event stream.
+	g := grid.New(grid.Options{Seed: 11, Trace: true})
 	g.AddMachine("aps-beamline", 4, lrm.Fork) // the instrument's control host
 	for _, name := range []string{"recon1", "recon2", "recon3"} {
 		g.AddMachine(name, 32, lrm.Fork)
@@ -123,6 +127,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The trace stream now holds the whole story. Render the co-allocation
+	// and application phases as a timeline, print the headline counters,
+	// and save the full Chrome trace for chrome://tracing / Perfetto.
+	fmt.Println("\nco-allocation and application timeline (derived from trace):")
+	fmt.Print(trace.DeriveTimeline(g.Sim, g.Tracer.Events(), "duroc", "app").Render(96))
+
+	fmt.Println("\nheadline counters:")
+	for _, cv := range g.Counters.Snapshot() {
+		switch {
+		case len(cv.Name) >= 6 && cv.Name[:6] == "duroc.",
+			len(cv.Name) >= 5 && cv.Name[:5] == "gram.",
+			len(cv.Name) >= 4 && cv.Name[:4] == "app.":
+			fmt.Printf("  %-40s %d\n", cv.Name, cv.Value)
+		}
+	}
+
+	const traceFile = "instrument-trace.json"
+	f, err := os.Create(traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.Tracer.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull trace (%d events) written to %s — open in chrome://tracing\n",
+		g.Tracer.Len(), traceFile)
 }
 
 // instrument is rank 0: it streams frames to the reconstruction workers,
@@ -139,6 +171,7 @@ func instrument(p *lrm.Proc) error {
 	}
 	workers := cfg.WorldSize - 1
 	fmt.Printf("[instrument] online with %d reconstruction workers\n", workers)
+	tr := p.Host().Network().Tracer()
 
 	// Stream frames round-robin.
 	conns := make([]*transport.Conn, workers)
@@ -150,6 +183,7 @@ func instrument(p *lrm.Proc) error {
 		conns[i] = conn
 		defer conn.Close()
 	}
+	streamStart := tr.Now()
 	for seq := 0; seq < frames; seq++ {
 		if err := p.Sleep(time.Second); err != nil { // beam exposure
 			return err
@@ -158,6 +192,8 @@ func instrument(p *lrm.Proc) error {
 			return err
 		}
 	}
+	tr.Span("app", "stream", p.Host().Name(), "instrument", "", streamStart,
+		trace.Arg{Key: "frames", Val: trace.Itoa(frames)})
 	for i := range conns {
 		if err := send(conns[i], msg{Type: "frame", Seq: -1}); err != nil { // end of run
 			return err
@@ -165,6 +201,7 @@ func instrument(p *lrm.Proc) error {
 	}
 
 	// Collect reconstructions and serve displays until the run is done.
+	collectStart := tr.Now()
 	done := 0
 	for done < frames {
 		conn, ok := rt.Listener().Accept()
@@ -187,6 +224,8 @@ func instrument(p *lrm.Proc) error {
 			conn.Close()
 		}
 	}
+	tr.Span("app", "collect", p.Host().Name(), "instrument", "", collectStart,
+		trace.Arg{Key: "frames", Val: trace.Itoa(done)})
 	fmt.Printf("[instrument] run complete: %d frames reconstructed\n", done)
 	return nil
 }
@@ -207,6 +246,7 @@ func recon(p *lrm.Proc) error {
 		return fmt.Errorf("recon listener closed")
 	}
 	defer conn.Close()
+	net := p.Host().Network()
 	for {
 		m, err := recv(conn, 5*time.Minute)
 		if err != nil {
@@ -215,9 +255,13 @@ func recon(p *lrm.Proc) error {
 		if m.Type != "frame" || m.Seq < 0 {
 			return nil
 		}
+		reconStart := net.Tracer().Now()
 		if err := p.Sleep(2 * time.Second); err != nil { // reconstruction
 			return err
 		}
+		net.Tracer().Span("app", "reconstruct", p.Host().Name(), "recon", "", reconStart,
+			trace.Arg{Key: "seq", Val: trace.Itoa(m.Seq)})
+		net.Counters().Add(trace.Key("app", "frames", "recon", p.Host().Name()), 1)
 		back, err := rt.DialRank(0)
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"cogrid/internal/gram"
 	"cogrid/internal/gsi"
 	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -193,9 +194,18 @@ func (c *Controller) HandleCall(sc *rpc.ServerConn, method string, body json.Raw
 // notifications.
 func (c *Controller) HandleNotify(sc *rpc.ServerConn, method string, body json.RawMessage) {}
 
-// record emits a timeline span if a recorder is configured.
+// record emits a timeline span if a recorder is configured, and mirrors the
+// phase into the trace stream so the Figure 5 timeline is derivable from a
+// trace alone.
 func (c *Controller) record(actor, phase string, start, end time.Duration) {
 	if c.cfg.Timeline != nil {
 		c.cfg.Timeline.Add(actor, phase, start, end)
 	}
+	c.host.Network().Tracer().SpanAt("duroc", phase, c.host.Name(), actor, "", start, end)
 }
+
+// tracer returns the network's tracer (nil-safe no-op when tracing is off).
+func (c *Controller) tracer() *trace.Tracer { return c.host.Network().Tracer() }
+
+// counters returns the network's counter registry (nil-safe).
+func (c *Controller) counters() *trace.Counters { return c.host.Network().Counters() }

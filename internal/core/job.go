@@ -10,6 +10,7 @@ import (
 	"cogrid/internal/gram"
 	"cogrid/internal/lrm"
 	"cogrid/internal/rsl"
+	"cogrid/internal/trace"
 	"cogrid/internal/vtime"
 )
 
@@ -108,6 +109,8 @@ func (j *Job) BarrierWaits() []time.Duration {
 }
 
 // emit delivers an event to the agent and records it in the job history.
+// Every lifecycle event is also mirrored into the trace stream as an
+// instant so an external trace viewer sees the same record the agent does.
 func (j *Job) emit(kind EventKind, sj *subjob, reason string) {
 	ev := Event{Kind: kind, Reason: reason, At: j.c.sim.Now()}
 	if sj != nil {
@@ -117,6 +120,15 @@ func (j *Job) emit(kind EventKind, sj *subjob, reason string) {
 	j.mu.Lock()
 	j.history = append(j.history, ev)
 	j.mu.Unlock()
+	var args []trace.Arg
+	if ev.Label != "" {
+		args = append(args, trace.Arg{Key: "label", Val: ev.Label}, trace.Arg{Key: "type", Val: ev.Type.String()})
+	}
+	if reason != "" {
+		args = append(args, trace.Arg{Key: "reason", Val: reason})
+	}
+	j.c.tracer().Instant("duroc", kind.String(), j.c.host.Name(), j.id, "", args...)
+	j.c.counters().Add(trace.Key("duroc", "event", kind.String(), j.c.host.Name()), 1)
 	j.events.TrySend(ev)
 }
 
@@ -613,6 +625,9 @@ func (j *Job) checkin(args checkinArgs) checkinReply {
 		reply: vtime.NewChan[checkinReply](j.c.sim, "duroc-release:"+j.id+"/"+args.Subjob+"/"+strconv.Itoa(args.Rank), 1),
 	}
 	sj.checkins[args.Rank] = ci
+	j.c.tracer().Instant("duroc", "barrier-enter", j.c.host.Name(), j.id+"/"+args.Subjob, "",
+		trace.Arg{Key: "rank", Val: strconv.Itoa(args.Rank)})
+	j.c.counters().Add(trace.Key("duroc", "barrier", "enter", j.c.host.Name()), 1)
 	full := len(sj.checkins) == sj.spec.Count
 	if full && (sj.status == SJActive || sj.status == SJSubmitted) {
 		sj.status = SJCheckedIn
@@ -685,6 +700,12 @@ func (j *Job) readinessLocked() CommitReadiness {
 // out, ErrSubjobNotReady.
 func (j *Job) Commit(timeout time.Duration) (Config, error) {
 	deadline := j.c.sim.Now() + timeout
+	commitStart := j.c.sim.Now()
+	finish := func(outcome string) {
+		j.c.tracer().Span("duroc", "commit", j.c.host.Name(), j.id, "", commitStart,
+			trace.Arg{Key: "outcome", Val: outcome})
+		j.c.counters().Add(trace.Key("duroc", "commit", outcome, j.c.host.Name()), 1)
+	}
 	j.mu.Lock()
 	j.committing = true
 	j.mu.Unlock()
@@ -693,11 +714,13 @@ func (j *Job) Commit(timeout time.Duration) (Config, error) {
 		if j.terminated {
 			reason := j.termReason
 			j.mu.Unlock()
+			finish("aborted")
 			return Config{}, fmt.Errorf("%w: %s", ErrAborted, reason)
 		}
 		if j.released {
 			cfg := j.config
 			j.mu.Unlock()
+			finish("ok")
 			return cfg, nil
 		}
 		r := j.readinessLocked()
@@ -705,6 +728,7 @@ func (j *Job) Commit(timeout time.Duration) (Config, error) {
 			cfg := j.releaseLocked()
 			j.mu.Unlock()
 			j.emit(EvCommitted, nil, "")
+			finish("ok")
 			return cfg, nil
 		}
 		j.mu.Unlock()
@@ -715,8 +739,10 @@ func (j *Job) Commit(timeout time.Duration) (Config, error) {
 		remaining := deadline - j.c.sim.Now()
 		if remaining <= 0 {
 			if r := j.Readiness(); len(r.Failed) > 0 {
+				finish("not-ready")
 				return Config{}, fmt.Errorf("%w: failed subjobs %v", ErrSubjobNotReady, r.Failed)
 			}
+			finish("timeout")
 			return Config{}, ErrCommitTimeout
 		}
 		j.signal.RecvTimeout(remaining)
@@ -757,6 +783,10 @@ func (j *Job) releaseLocked() Config {
 	j.config = cfg
 	j.released = true
 	j.releaseAt = now
+	j.c.tracer().Instant("duroc", "release", j.c.host.Name(), j.id, "",
+		trace.Arg{Key: "world", Val: strconv.Itoa(cfg.WorldSize)},
+		trace.Arg{Key: "subjobs", Val: strconv.Itoa(cfg.NSubjobs)})
+	j.c.counters().Add(trace.Key("duroc", "barrier", "release", j.c.host.Name()), 1)
 
 	for idx, sj := range committed {
 		for _, ci := range sj.checkins {

@@ -22,6 +22,7 @@ import (
 	"cogrid/internal/nis"
 	"cogrid/internal/rpc"
 	"cogrid/internal/rsl"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -148,6 +149,9 @@ func (s *Server) record(actor, phase string, start, end time.Duration) {
 	if s.cfg.Timeline != nil {
 		s.cfg.Timeline.Add(actor, phase, start, end)
 	}
+	// The same phase also lands in the trace stream, so the Figure 3
+	// breakdown is derivable from a trace without a dedicated Timeline.
+	s.host.Network().Tracer().SpanAt("gram", phase, s.host.Name(), actor, "", start, end)
 }
 
 // HandleCall implements rpc.Handler.
@@ -312,6 +316,9 @@ func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, er
 	s.jobs[contact] = job
 	s.mu.Unlock()
 
+	net := s.host.Network()
+	net.Counters().Add(trace.Key("gram", "job", "submit", s.host.Name()), 1)
+
 	// Push every state transition back to the submitter as a callback.
 	s.sim.GoDaemon("gram-watch:"+contact, func() {
 		for {
@@ -319,10 +326,14 @@ func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, er
 			if !ok {
 				return
 			}
+			reason := job.Reason()
+			net.Tracer().Instant("gram", "state:"+state.String(), s.host.Name(), contact, "",
+				trace.Arg{Key: "reason", Val: reason})
+			net.Counters().Add(trace.Key("gram", "state", state.String(), s.host.Name()), 1)
 			sc.Notify("job-state", StateEvent{
 				Contact: contact,
 				State:   state,
-				Reason:  job.Reason(),
+				Reason:  reason,
 				At:      s.sim.Now(),
 			})
 		}

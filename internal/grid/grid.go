@@ -13,6 +13,7 @@ import (
 	"cogrid/internal/lrm"
 	"cogrid/internal/metrics"
 	"cogrid/internal/nis"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -36,6 +37,10 @@ type Options struct {
 	// RecordTimeline attaches a shared metrics.Timeline to every
 	// gatekeeper (for Figures 3 and 5).
 	RecordTimeline bool
+	// Trace attaches a trace.Tracer and trace.Counters to the network,
+	// capturing structured events from every layer (transport hops, RPC
+	// calls, GRAM state transitions, DUROC commit and barrier phases).
+	Trace bool
 }
 
 // Grid is an assembled testbed.
@@ -48,6 +53,8 @@ type Grid struct {
 	Workstation *transport.Host
 	UserCred    gsi.Credential
 	Timeline    *metrics.Timeline
+	Tracer      *trace.Tracer
+	Counters    *trace.Counters
 
 	opts     Options
 	machines map[string]*lrm.Machine
@@ -82,6 +89,12 @@ func New(opts Options) *Grid {
 	}
 	if opts.RecordTimeline {
 		g.Timeline = metrics.NewTimeline(sim)
+	}
+	if opts.Trace {
+		g.Tracer = trace.New(sim)
+		g.Counters = trace.NewCounters()
+		net.SetTracer(g.Tracer)
+		net.SetCounters(g.Counters)
 	}
 	nisHost := net.AddHost("nis0")
 	srv, err := nis.NewServer(nisHost, opts.NISServiceTime)

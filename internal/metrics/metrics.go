@@ -41,8 +41,14 @@ func (t *Timeline) Start(actor, phase string) func() {
 	return func() { t.Add(actor, phase, start, t.sim.Now()) }
 }
 
-// Add records a completed span.
+// Add records a completed span. Spans may arrive in any order, but a
+// negative-duration span (end < start) is a caller bug — virtual time never
+// runs backwards — and Add panics rather than silently corrupting the
+// rendered window.
 func (t *Timeline) Add(actor, phase string, start, end time.Duration) {
+	if end < start {
+		panic(fmt.Sprintf("metrics: negative-duration span %s %s: start %v > end %v", actor, phase, start, end))
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.spans = append(t.spans, Span{Actor: actor, Phase: phase, Start: start, End: end})
@@ -104,11 +110,17 @@ func (t *Timeline) Render(width int) string {
 	for _, s := range spans {
 		from := int(int64(s.Start-minStart) * int64(width) / int64(total))
 		to := int(int64(s.End-minStart) * int64(width) / int64(total))
-		if to <= from {
-			to = from + 1
+		// Clamp into the window before widening zero-length bars, so a span
+		// ending exactly at maxEnd still paints at least one cell and never
+		// spills past the right border.
+		if from >= width {
+			from = width - 1
 		}
 		if to > width {
 			to = width
+		}
+		if to <= from {
+			to = from + 1
 		}
 		bar := strings.Repeat(" ", from) + strings.Repeat("#", to-from) + strings.Repeat(" ", width-to)
 		fmt.Fprintf(&sb, "%-*s |%s| %8.3fs + %.3fs\n",
@@ -135,6 +147,7 @@ type Summary struct {
 	Max    float64
 	P50    float64
 	P95    float64
+	P99    float64
 	Stddev float64
 }
 
@@ -162,22 +175,28 @@ func Summarize(xs []float64) Summary {
 		Max:    sorted[len(sorted)-1],
 		P50:    percentile(sorted, 0.50),
 		P95:    percentile(sorted, 0.95),
+		P99:    percentile(sorted, 0.99),
 		Stddev: math.Sqrt(ss / float64(len(sorted))),
 	}
 }
 
-// percentile interpolates the p-quantile of a sorted sample.
+// percentile interpolates the p-quantile of a sorted sample using the
+// exclusive-interpolation convention (Hyndman-Fan type 6, as in
+// PERCENTILE.EXC): the 1-based rank is h = p*(n+1), linearly interpolated
+// between neighbours and clamped to [1, n], so p = 0.0 yields the minimum
+// and p = 1.0 the maximum for every sample size, including n = 1 and n = 2.
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 1 {
+	n := len(sorted)
+	h := p * float64(n+1)
+	if h <= 1 {
 		return sorted[0]
 	}
-	pos := p * float64(len(sorted)-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[len(sorted)-1]
+	if h >= float64(n) {
+		return sorted[n-1]
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	lo := int(h) // floor; 1 <= lo <= n-1 here
+	frac := h - float64(lo)
+	return sorted[lo-1]*(1-frac) + sorted[lo]*frac
 }
 
 // DurationsToSeconds converts durations to float64 seconds.

@@ -10,9 +10,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -91,6 +93,13 @@ func (c *Client) Notifications() *vtime.Chan[Notification] { return c.notificati
 // Conn returns the underlying connection's remote address.
 func (c *Client) RemoteAddr() transport.Addr { return c.conn.RemoteAddr() }
 
+// corrID builds the correlation identifier shared by the client call span,
+// the server handler span, and any dropped-reply event for one call: the
+// connection-pair flow plus the per-connection call id.
+func corrID(conn *transport.Conn, id uint64) string {
+	return conn.Flow() + "#" + strconv.FormatUint(id, 10)
+}
+
 func (c *Client) demux() {
 	for {
 		raw, err := c.conn.Recv()
@@ -110,9 +119,20 @@ func (c *Client) demux() {
 			c.mu.Unlock()
 			if ch != nil {
 				ch.TrySend(env)
+			} else {
+				// Late reply to a call that already timed out: the pending
+				// entry is gone (Call removed it), so the reply is dropped —
+				// but it still appears in the trace, correlated with the
+				// timed-out call by ID.
+				host := c.conn.LocalAddr().Host
+				c.conn.Network().Tracer().Instant("rpc", "dropped-reply", host, c.conn.Flow(), corrID(c.conn, env.ID))
+				c.conn.Network().Counters().Add(trace.Key("rpc", "reply", "drop", host), 1)
 			}
 		case kindNotify:
 			c.notifications.TrySend(Notification{Method: env.Method, Body: env.Body})
+			host := c.conn.LocalAddr().Host
+			c.conn.Network().Tracer().Instant("rpc", "notify:"+env.Method, host, c.conn.Flow(), "")
+			c.conn.Network().Counters().Add(trace.Key("rpc", "notify", "recv", host), 1)
 		}
 	}
 }
@@ -154,25 +174,39 @@ func (c *Client) Call(method string, arg, reply any, timeout time.Duration) erro
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	tr := c.conn.Network().Tracer()
+	host := c.conn.LocalAddr().Host
+	start := tr.Now()
+	finish := func(outcome string) {
+		tr.Span("rpc", "call:"+method, host, c.conn.Flow(), corrID(c.conn, id), start,
+			trace.Arg{Key: "outcome", Val: outcome})
+		c.conn.Network().Counters().Add(trace.Key("rpc", "call", outcome, host), 1)
+	}
+
 	if err := c.send(envelope{ID: id, Kind: kindCall, Method: method}, arg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		finish("closed")
 		return err
 	}
 	env, res := ch.RecvTimeout(timeout)
 	switch res {
 	case vtime.RecvClosed:
+		finish("closed")
 		return ErrClosed
 	case vtime.RecvTimedOut:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		finish("timeout")
 		return ErrTimeout
 	}
 	if env.Error != "" {
+		finish("error")
 		return RemoteError(env.Error)
 	}
+	finish("ok")
 	if reply != nil && len(env.Body) > 0 {
 		return json.Unmarshal(env.Body, reply)
 	}
@@ -234,6 +268,9 @@ func (sc *ServerConn) Notify(method string, arg any) error {
 	if err := sc.conn.Send(raw); err != nil {
 		return ErrClosed
 	}
+	host := sc.conn.LocalAddr().Host
+	sc.conn.Network().Tracer().Instant("rpc", "notify:"+method, host, sc.conn.Flow(), "")
+	sc.conn.Network().Counters().Add(trace.Key("rpc", "notify", "send", host), 1)
 	return nil
 }
 
@@ -300,6 +337,8 @@ func (s *Server) serveConn(conn *transport.Conn) {
 		meta = m
 	}
 	sc := &ServerConn{sim: s.sim, conn: conn, Meta: meta}
+	tr := conn.Network().Tracer()
+	host := conn.LocalAddr().Host
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
@@ -311,18 +350,28 @@ func (s *Server) serveConn(conn *transport.Conn) {
 		}
 		switch env.Kind {
 		case kindCall:
+			// The serve span covers handler execution and shares the call's
+			// correlation ID, so client and server sides of one RPC line up
+			// in the trace.
+			serveStart := tr.Now()
 			result, err := s.handler.HandleCall(sc, env.Method, env.Body)
 			reply := envelope{ID: env.ID, Kind: kindReply}
+			outcome := "ok"
 			if err != nil {
 				reply.Error = err.Error()
+				outcome = "error"
 			} else if result != nil {
 				body, merr := json.Marshal(result)
 				if merr != nil {
 					reply.Error = "rpc: marshal reply: " + merr.Error()
+					outcome = "error"
 				} else {
 					reply.Body = body
 				}
 			}
+			tr.Span("rpc", "serve:"+env.Method, host, conn.Flow(), corrID(conn, env.ID), serveStart,
+				trace.Arg{Key: "outcome", Val: outcome})
+			conn.Network().Counters().Add(trace.Key("rpc", "serve", outcome, host), 1)
 			raw, merr := json.Marshal(reply)
 			if merr != nil {
 				continue

@@ -1,0 +1,130 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"cogrid/internal/trace"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// newTracedPair is newPair with a tracer and counter registry attached.
+func newTracedPair(t *testing.T) (*vtime.Sim, *trace.Tracer, *trace.Counters, *transport.Host, *transport.Host) {
+	t.Helper()
+	sim := vtime.New()
+	net := transport.New(sim, transport.UniformLatency(time.Millisecond))
+	tr := trace.New(sim)
+	ctrs := trace.NewCounters()
+	net.SetTracer(tr)
+	net.SetCounters(ctrs)
+	return sim, tr, ctrs, net.AddHost("a"), net.AddHost("b")
+}
+
+// A timed-out call must (a) leave no entry behind in the pending table and
+// (b) surface the late reply as a dropped-reply trace event correlated with
+// the call span by ID, so a trace reader can pair them up.
+func TestTimedOutCallCorrelatesLateReplyAsDropped(t *testing.T) {
+	sim, tr, ctrs, a, b := newTracedPair(t)
+	startEcho(t, sim, b)
+	err := sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "echo"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		defer c.Close()
+		// Handler sleeps 5 s, call allows 1 s: guaranteed timeout, with the
+		// reply still in flight afterwards.
+		if err := c.Call("echo", echoArgs{Text: "slow", Delay: 5000}, nil, time.Second); err != ErrTimeout {
+			t.Errorf("Call = %v, want ErrTimeout", err)
+		}
+		sim.Sleep(10 * time.Second) // let the late reply arrive and be dropped
+		c.mu.Lock()
+		leaked := len(c.pending)
+		c.mu.Unlock()
+		if leaked != 0 {
+			t.Errorf("pending table has %d entries after timeout, want 0", leaked)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+
+	var callID string
+	for _, ev := range tr.Events() {
+		if ev.Cat == "rpc" && ev.Name == "call:echo" {
+			callID = ev.ID
+			for _, arg := range ev.Args {
+				if arg.Key == "outcome" && arg.Val != "timeout" {
+					t.Errorf("call:echo outcome = %q, want timeout", arg.Val)
+				}
+			}
+		}
+	}
+	if callID == "" {
+		t.Fatal("no call:echo span in trace")
+	}
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Cat == "rpc" && ev.Name == "dropped-reply" {
+			found = true
+			if ev.ID != callID {
+				t.Errorf("dropped-reply ID = %q, want %q (the timed-out call)", ev.ID, callID)
+			}
+		}
+	}
+	if !found {
+		t.Error("late reply produced no dropped-reply event")
+	}
+	if got := ctrs.Get(trace.Key("rpc", "reply", "drop", "a")); got != 1 {
+		t.Errorf("rpc.reply.drop@a = %d, want 1", got)
+	}
+	if got := ctrs.Get(trace.Key("rpc", "call", "timeout", "a")); got != 1 {
+		t.Errorf("rpc.call.timeout@a = %d, want 1", got)
+	}
+}
+
+// Client call and server handler spans of one RPC share a correlation ID.
+func TestCallAndServeSpansShareCorrelationID(t *testing.T) {
+	sim, tr, _, a, b := newTracedPair(t)
+	startEcho(t, sim, b)
+	err := sim.Run("client", func() {
+		conn, err := a.Dial(transport.Addr{Host: "b", Service: "echo"})
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		defer c.Close()
+		var reply echoReply
+		if err := c.Call("echo", echoArgs{Text: "hi"}, &reply, time.Minute); err != nil {
+			t.Errorf("Call: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	var callID, serveID string
+	for _, ev := range tr.Events() {
+		switch {
+		case ev.Name == "call:echo":
+			callID = ev.ID
+			if ev.Proc != "a" {
+				t.Errorf("call:echo proc = %q, want a", ev.Proc)
+			}
+		case ev.Name == "serve:echo":
+			serveID = ev.ID
+			if ev.Proc != "b" {
+				t.Errorf("serve:echo proc = %q, want b", ev.Proc)
+			}
+		}
+	}
+	if callID == "" || serveID == "" {
+		t.Fatalf("missing spans: call=%q serve=%q", callID, serveID)
+	}
+	if callID != serveID {
+		t.Errorf("correlation mismatch: call=%q serve=%q", callID, serveID)
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cogrid/internal/metrics"
+	"cogrid/internal/vtime"
+)
+
+// jsonlEvent is the JSONL wire form: virtual times in integer nanoseconds.
+type jsonlEvent struct {
+	At   int64             `json:"at"`
+	Dur  int64             `json:"dur,omitempty"`
+	Cat  string            `json:"cat"`
+	Name string            `json:"name"`
+	Proc string            `json:"proc,omitempty"`
+	Thr  string            `json:"thr,omitempty"`
+	ID   string            `json:"id,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteJSONL writes events one JSON object per line. Events must already be
+// in the desired order (Tracer.Events returns the deterministic order).
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		je := jsonlEvent{
+			At:   int64(ev.At),
+			Dur:  int64(ev.Dur),
+			Cat:  ev.Cat,
+			Name: ev.Name,
+			Proc: ev.Proc,
+			Thr:  ev.Thr,
+			ID:   ev.ID,
+			Args: argMap(ev.Args),
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the tracer's events as JSONL in deterministic order.
+func (t *Tracer) WriteJSONL(w io.Writer) error { return WriteJSONL(w, t.Events()) }
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON Array
+// Format of the Trace Event specification), loadable in chrome://tracing
+// and Perfetto. Timestamps are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes events in Chrome trace_event JSON object format.
+// Spans become complete ("X") events and instants become thread-scoped
+// instant ("i") events. Processes and threads are assigned stable integer
+// ids in sorted-name order, with metadata records naming each, so the same
+// event set always serializes to the same bytes.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// Assign pids to sorted process names and tids to sorted thread names
+	// within each process.
+	procs := map[string]int{}
+	threads := map[string]map[string]int{}
+	var procNames []string
+	for _, ev := range events {
+		if _, ok := procs[ev.Proc]; !ok {
+			procs[ev.Proc] = 0
+			threads[ev.Proc] = map[string]int{}
+			procNames = append(procNames, ev.Proc)
+		}
+		threads[ev.Proc][ev.Thr] = 0
+	}
+	sort.Strings(procNames)
+	var out []chromeEvent
+	for i, p := range procNames {
+		procs[p] = i + 1
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]string{"name": p},
+		})
+		var thrNames []string
+		for thr := range threads[p] {
+			thrNames = append(thrNames, thr)
+		}
+		sort.Strings(thrNames)
+		for k, thr := range thrNames {
+			threads[p][thr] = k + 1
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: i + 1, Tid: k + 1,
+				Args: map[string]string{"name": thr},
+			})
+		}
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ts:   float64(ev.At) / float64(time.Microsecond),
+			Pid:  procs[ev.Proc],
+			Tid:  threads[ev.Proc][ev.Thr],
+			ID:   ev.ID,
+			Args: argMap(ev.Args),
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / float64(time.Microsecond)
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+	raw, err := json.Marshal(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}
+
+// WriteChromeTrace writes the tracer's events as a Chrome trace in
+// deterministic order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events())
+}
+
+func argMap(args []Arg) map[string]string {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// Itoa formats small integers for Args without pulling strconv into every
+// call site.
+func Itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// DeriveTimeline reconstructs a metrics.Timeline from span events,
+// demonstrating that the legacy phase-timeline view is a projection of the
+// trace stream: each span event becomes a timeline span with Actor = Thr
+// and Phase = Name. When cats is non-empty only those categories are
+// included (e.g. "gram", "duroc" reproduces the Figure 5 submission
+// timeline without transport noise).
+func DeriveTimeline(sim *vtime.Sim, events []Event, cats ...string) *metrics.Timeline {
+	want := map[string]bool{}
+	for _, c := range cats {
+		want[c] = true
+	}
+	tl := metrics.NewTimeline(sim)
+	for _, ev := range events {
+		if ev.Dur <= 0 {
+			continue
+		}
+		if len(want) > 0 && !want[ev.Cat] {
+			continue
+		}
+		actor := ev.Thr
+		if actor == "" {
+			actor = ev.Proc
+		}
+		tl.Add(actor, ev.Name, ev.At, ev.At+ev.Dur)
+	}
+	return tl
+}

@@ -12,10 +12,12 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cogrid/internal/trace"
 	"cogrid/internal/vtime"
 )
 
@@ -126,6 +128,9 @@ type Network struct {
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
+
+	tracer   atomic.Pointer[trace.Tracer]
+	counters atomic.Pointer[trace.Counters]
 }
 
 // New creates a network on sim with the given latency model.
@@ -146,6 +151,23 @@ func (n *Network) Messages() int64 { return n.msgs.Load() }
 
 // Bytes returns the total payload bytes sent.
 func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// SetTracer attaches a tracer to the network. Every layer above (rpc, gram,
+// duroc) reads the tracer from here, so one attachment instruments the
+// whole stack. A nil tracer (the default) disables tracing.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
+
+// Tracer returns the attached tracer, or nil (which is itself a valid
+// no-op tracer).
+func (n *Network) Tracer() *trace.Tracer { return n.tracer.Load() }
+
+// SetCounters attaches a counter registry. With a registry attached the
+// network maintains per-host and per-connection message, byte, and drop
+// counters; without one those paths cost nothing.
+func (n *Network) SetCounters(c *trace.Counters) { n.counters.Store(c) }
+
+// Counters returns the attached registry, or nil.
+func (n *Network) Counters() *trace.Counters { return n.counters.Load() }
 
 // AddHost registers a host by name. Adding an existing name returns the
 // existing host.
@@ -321,14 +343,17 @@ func (h *Host) Dial(to Addr) (*Conn, error) {
 	n.mu.Unlock()
 
 	oneWay := n.latency.Latency(h.name, to.Host)
+	dialStart := n.sim.Now()
 	// SYN retransmission: an unreachable peer (partition, crash, hang)
 	// never answers, but the dialer keeps retrying within its timeout, so
 	// a transient partition that heals mid-dial still connects.
 	const synRetry = time.Second
-	deadline := n.sim.Now() + DialTimeout
+	deadline := dialStart + DialTimeout
 	for !n.deliverable(h.name, to.Host) {
 		remaining := deadline - n.sim.Now()
 		if remaining <= 0 {
+			n.Tracer().Span("transport", "dial", h.name, to.String(), "", dialStart,
+				trace.Arg{Key: "outcome", Val: "timeout"})
 			return nil, ErrDialTimeout
 		}
 		if remaining < synRetry {
@@ -356,13 +381,19 @@ func (h *Host) Dial(to Addr) (*Conn, error) {
 
 	n.sim.Sleep(oneWay) // SYN-ACK
 	if refused {
+		n.Tracer().Span("transport", "dial", h.name, to.String(), "", dialStart,
+			trace.Arg{Key: "outcome", Val: "refused"})
 		return nil, ErrRefused
 	}
 	if !l.accept.TrySend(server) {
 		// Accept backlog full: refuse.
 		client.Close()
+		n.Tracer().Span("transport", "dial", h.name, to.String(), "", dialStart,
+			trace.Arg{Key: "outcome", Val: "backlog-full"})
 		return nil, ErrRefused
 	}
+	n.Tracer().Span("transport", "dial", h.name, to.String(), client.flow, dialStart,
+		trace.Arg{Key: "outcome", Val: "ok"})
 	return client, nil
 }
 
@@ -421,22 +452,52 @@ type Conn struct {
 	out    *vtime.Chan[outMsg]
 	peer   *Conn
 
+	// flow identifies the connection pair (client=>server@establish-time);
+	// both ends share it, so it correlates trace events across the two
+	// hosts. dirFlow is this end's directional name (local->remote@t).
+	flow    string
+	dirFlow string
+	// Per-connection counter handles, nil when no registry is attached.
+	cSend, cSendBytes, cRecv, cRecvBytes, cDrop *trace.Counter
+
 	mu     sync.Mutex
 	closed bool
 }
 
+// Flow returns the connection-pair identifier shared by both ends: the
+// client and server addresses plus the establishment time in microseconds.
+// Layers above use it to build correlation IDs that match across hosts.
+func (c *Conn) Flow() string { return c.flow }
+
+// Network returns the network the connection runs on. Layers above use it
+// to reach the attached Tracer and Counters.
+func (c *Conn) Network() *Network { return c.net }
+
 // newConnPair builds both ends of a connection along with their delivery
 // daemons. Caller holds n.mu.
 func newConnPair(n *Network, clientAddr, serverAddr Addr) (client, server *Conn) {
+	ts := strconv.FormatInt(int64(n.sim.Now()/time.Microsecond), 10)
+	flow := clientAddr.String() + "=>" + serverAddr.String() + "@" + ts
+	ctrs := n.Counters()
 	mk := func(local, remote Addr) *Conn {
 		tag := local.String() + "->" + remote.String()
-		return &Conn{
-			net:    n,
-			local:  local,
-			remote: remote,
-			in:     vtime.NewChan[[]byte](n.sim, "in:"+tag, 4096),
-			out:    vtime.NewChan[outMsg](n.sim, "out:"+tag, 4096),
+		c := &Conn{
+			net:     n,
+			local:   local,
+			remote:  remote,
+			flow:    flow,
+			dirFlow: tag + "@" + ts,
+			in:      vtime.NewChan[[]byte](n.sim, "in:"+tag, 4096),
+			out:     vtime.NewChan[outMsg](n.sim, "out:"+tag, 4096),
 		}
+		if ctrs != nil {
+			c.cSend = ctrs.C(trace.Key("transport", "conn", "send", c.dirFlow))
+			c.cSendBytes = ctrs.C(trace.Key("transport", "conn", "sendbytes", c.dirFlow))
+			c.cRecv = ctrs.C(trace.Key("transport", "conn", "recv", c.dirFlow))
+			c.cRecvBytes = ctrs.C(trace.Key("transport", "conn", "recvbytes", c.dirFlow))
+			c.cDrop = ctrs.C(trace.Key("transport", "conn", "drop", c.dirFlow))
+		}
+		return c
 	}
 	client = mk(clientAddr, serverAddr)
 	server = mk(serverAddr, clientAddr)
@@ -461,10 +522,33 @@ func (c *Conn) deliverLoop() {
 			return
 		}
 		if !c.net.deliverable(c.local.Host, c.remote.Host) {
+			c.dropped(len(m.payload), "in-flight")
 			continue // dropped in flight
 		}
-		c.peer.in.TrySend(m.payload) // inbox overflow drops, like UDP under DoS
+		if !c.peer.in.TrySend(m.payload) { // inbox overflow drops, like UDP under DoS
+			c.dropped(len(m.payload), "overflow")
+			continue
+		}
+		c.peer.cRecv.Add(1)
+		c.peer.cRecvBytes.Add(int64(len(m.payload)))
+		if ctrs := c.net.Counters(); ctrs != nil {
+			ctrs.Add(trace.Key("transport", "msgs", "recv", c.remote.Host), 1)
+			ctrs.Add(trace.Key("transport", "bytes", "recv", c.remote.Host), int64(len(m.payload)))
+		}
+		c.net.Tracer().Instant("transport", "recv", c.remote.Host, c.peer.dirFlow, c.flow,
+			trace.Arg{Key: "bytes", Val: strconv.Itoa(len(m.payload))})
 	}
+}
+
+// dropped accounts for a message lost on this end's send path.
+func (c *Conn) dropped(size int, reason string) {
+	c.cDrop.Add(1)
+	if ctrs := c.net.Counters(); ctrs != nil {
+		ctrs.Add(trace.Key("transport", "msgs", "drop", c.local.Host), 1)
+	}
+	c.net.Tracer().Instant("transport", "drop", c.local.Host, c.dirFlow, c.flow,
+		trace.Arg{Key: "bytes", Val: strconv.Itoa(size)},
+		trace.Arg{Key: "reason", Val: reason})
 }
 
 // LocalAddr returns this end's address.
@@ -492,10 +576,23 @@ func (c *Conn) Send(payload []byte) error {
 		return ErrHostDown
 	}
 	if !n.deliverable(c.local.Host, c.remote.Host) {
+		c.dropped(len(payload), "unreachable")
 		return nil // silently dropped
 	}
 	n.msgs.Add(1)
 	n.bytes.Add(int64(len(payload)))
+	c.cSend.Add(1)
+	c.cSendBytes.Add(int64(len(payload)))
+	if ctrs := n.Counters(); ctrs != nil {
+		ctrs.Add(trace.Key("transport", "msgs", "send", c.local.Host), 1)
+		ctrs.Add(trace.Key("transport", "bytes", "send", c.local.Host), int64(len(payload)))
+	}
+	now := n.sim.Now()
+	oneWay := n.latency.Latency(c.local.Host, c.remote.Host)
+	// One hop span per send, covering the wire time to the peer.
+	c.net.Tracer().SpanAt("transport", "hop", c.local.Host, c.dirFlow, c.flow, now, now+oneWay,
+		trace.Arg{Key: "bytes", Val: strconv.Itoa(len(payload))},
+		trace.Arg{Key: "to", Val: c.remote.String()})
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	// TrySend: if the delivery queue is full (extreme overload) or the
@@ -503,7 +600,7 @@ func (c *Conn) Send(payload []byte) error {
 	// blocking the sender while it holds no kernel context.
 	c.out.TrySend(outMsg{
 		payload:   buf,
-		deliverAt: n.sim.Now() + n.latency.Latency(c.local.Host, c.remote.Host),
+		deliverAt: now + oneWay,
 	})
 	return nil
 }

@@ -102,6 +102,9 @@ func TestWaitGroupConcurrentAddDone(t *testing.T) {
 }
 
 func TestMessageConservationUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
 	// Producers and consumers over a shared buffered channel with random
 	// virtual delays: every message sent is received exactly once.
 	s := NewSeeded(99)
@@ -148,6 +151,9 @@ func TestMessageConservationUnderLoad(t *testing.T) {
 }
 
 func TestThousandsOfProcsSettle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
 	s := New()
 	const n = 5000
 	var count atomic.Int64

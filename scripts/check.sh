@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the full verification gate: vet, build, tests, race tests.
+#
+# Usage:
+#   scripts/check.sh          # everything, including the full -race run
+#   QUICK=1 scripts/check.sh  # -short mode for both test passes (skips
+#                             # soak/stress tests; suits pre-commit hooks)
+set -eu
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${QUICK:-0}" = "1" ]; then
+    short="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test $short ./..."
+go test $short ./...
+
+echo "== go test -race $short ./..."
+go test -race $short ./...
+
+echo "ok: all checks passed"
