@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race
+.PHONY: check quick vet build test race bench-smoke
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -21,3 +21,8 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# A seconds-scale broker load study on the tiny seed configuration —
+# a fast end-to-end smoke of the broker service and its reporting.
+bench-smoke:
+	$(GO) run ./cmd/benchgrid -fig none -app broker -smoke

@@ -4,13 +4,14 @@
 // Usage:
 //
 //	benchgrid [-fig 2|3|4|5|all]
-//	          [-app atomic|bigrun|overprov|staleness|reserve|load|ablation|all]
-//	          [-seed N] [-trials N] [-json]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|ablation|all]
+//	          [-seed N] [-trials N] [-json] [-smoke]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
 // see EXPERIMENTS.md for the paper-versus-measured comparison. With -json
 // the selected results are emitted as one JSON document (durations in
-// nanoseconds) for plotting pipelines.
+// nanoseconds) for plotting pipelines. -smoke shrinks the broker load
+// study to a seconds-long configuration for CI gates.
 package main
 
 import (
@@ -26,14 +27,15 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
-	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, ablation, all, or none")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, ablation, all, or none")
 	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
+	smoke := flag.Bool("smoke", false, "shrink the broker study to a tiny smoke-test configuration")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := emitJSON(os.Stdout, *fig, *app, *seed, *trials); err != nil {
+		if err := emitJSON(os.Stdout, *fig, *app, *seed, *trials, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgrid:", err)
 			os.Exit(2)
 		}
@@ -75,6 +77,8 @@ func main() {
 		reserve(*seed)
 	case "load":
 		loadStudy(*seed, *trials)
+	case "broker":
+		brokerStudy(*seed, *smoke)
 	case "ablation":
 		ablation()
 	case "all":
@@ -84,6 +88,7 @@ func main() {
 		staleness(*seed, *trials)
 		reserve(*seed)
 		loadStudy(*seed, *trials)
+		brokerStudy(*seed, *smoke)
 		ablation()
 	case "none":
 	default:
@@ -98,7 +103,7 @@ func main() {
 
 // emitJSON runs the selected experiments and marshals their structured
 // results as one JSON object keyed by experiment id.
-func emitJSON(w io.Writer, fig, app string, seed int64, trials int) error {
+func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) error {
 	out := make(map[string]any)
 	figOn := func(want string) bool { return fig == "all" || fig == want }
 	appOn := func(want string) bool { return app == "all" || app == want }
@@ -136,6 +141,9 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int) error {
 	if appOn("load") {
 		out["r2_load_crossover"] = experiments.BestEffortVsReservation(3,
 			[]float64{0.3, 0.5, 0.7, 0.85}, trials, seed)
+	}
+	if appOn("broker") {
+		out["b1_broker_load"] = experiments.BrokerLoadStudy(brokerConfig(seed, smoke))
 	}
 	if appOn("ablation") {
 		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
@@ -235,6 +243,36 @@ func loadStudy(seed int64, trials int) {
 	fmt.Print(res.Table())
 	fmt.Println("(Section 5: ensuring a co-allocation request succeeds ultimately")
 	fmt.Println(" requires advance reservation; the crossover falls at moderate load)")
+}
+
+// brokerConfig selects the broker study size: the stock configuration, or
+// a seconds-long smoke setting for CI (make bench-smoke).
+func brokerConfig(seed int64, smoke bool) experiments.BrokerLoadConfig {
+	if !smoke {
+		return experiments.BrokerLoadConfig{Seed: seed}
+	}
+	return experiments.BrokerLoadConfig{
+		Machines:      3,
+		MachineSize:   16,
+		Sites:         2,
+		ProcsPerSite:  4,
+		Workers:       2,
+		WorkTime:      time.Minute,
+		Requests:      8,
+		Tenants:       2,
+		RatesPerMin:   []float64{4, 12},
+		QueueBounds:   []int{2},
+		ClosedClients: []int{2},
+		Seed:          seed,
+	}
+}
+
+func brokerStudy(seed int64, smoke bool) {
+	section("B1 — broker throughput and latency vs offered load and queue bound")
+	res := experiments.BrokerLoadStudy(brokerConfig(seed, smoke))
+	fmt.Print(res.Table())
+	fmt.Println("(internal/broker: bounded admission pushes back when offered load")
+	fmt.Println(" exceeds what the machines drain; rejects are admission rejections)")
 }
 
 func ablation() {

@@ -8,7 +8,7 @@ import (
 
 func TestEmitJSONFigure3(t *testing.T) {
 	var buf bytes.Buffer
-	if err := emitJSON(&buf, "3", "none", 1, 1); err != nil {
+	if err := emitJSON(&buf, "3", "none", 1, 1, false); err != nil {
 		t.Fatalf("emitJSON: %v", err)
 	}
 	var out map[string]json.RawMessage
@@ -32,14 +32,47 @@ func TestEmitJSONFigure3(t *testing.T) {
 
 func TestEmitJSONNothingSelected(t *testing.T) {
 	var buf bytes.Buffer
-	if err := emitJSON(&buf, "none", "none", 1, 1); err == nil {
+	if err := emitJSON(&buf, "none", "none", 1, 1, false); err == nil {
 		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestEmitJSONBrokerSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, "none", "broker", 1, 1, true); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	raw, ok := out["b1_broker_load"]
+	if !ok {
+		t.Fatalf("missing b1_broker_load key: %v", out)
+	}
+	var study struct {
+		Rows []struct {
+			Mode      string `json:"mode"`
+			Requests  int    `json:"requests"`
+			Completed int    `json:"completed"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &study); err != nil {
+		t.Fatalf("b1_broker_load shape: %v", err)
+	}
+	if len(study.Rows) < 3 {
+		t.Fatalf("rows = %d, want >= 3", len(study.Rows))
+	}
+	for i, row := range study.Rows {
+		if row.Completed == 0 {
+			t.Errorf("row %d (%s): nothing completed", i, row.Mode)
+		}
 	}
 }
 
 func TestEmitJSONAblationOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := emitJSON(&buf, "none", "ablation", 1, 1); err != nil {
+	if err := emitJSON(&buf, "none", "ablation", 1, 1, false); err != nil {
 		t.Fatalf("emitJSON: %v", err)
 	}
 	var out map[string]json.RawMessage

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cogrid/internal/broker"
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/mds"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// runBrokerDemo runs the built-in broker scenario: four batch machines
+// publishing to a directory, a 2-worker broker with a deliberately small
+// admission queue, and three tenants submitting co-allocations — one of
+// them flooding, so backpressure and round-robin fairness are visible in
+// the output. Observability outputs (trace, counters) follow opts.
+func runBrokerDemo(opts runOptions) error {
+	const (
+		machines     = 4
+		procs        = 32
+		workTime     = 90 * time.Second
+		sites        = 2
+		procsPerSite = 8
+	)
+	g := grid.New(grid.Options{Seed: 7, Trace: true})
+	dirHost := g.Net.AddHost("mds0")
+	if _, err := mds.NewServer(dirHost, 0); err != nil {
+		return err
+	}
+	dir := transport.Addr{Host: "mds0", Service: mds.ServiceName}
+	for i := 0; i < machines; i++ {
+		name := fmt.Sprintf("site%02d", i)
+		m := g.AddMachine(name, procs, lrm.Batch)
+		mds.Publish(m, dir, g.Contact(name), 31*time.Second, procsPerSite, procs)
+	}
+	g.RegisterEverywhere("app", func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 0); err != nil {
+			return nil
+		}
+		return p.Work(workTime, time.Second)
+	})
+	b, err := broker.New(g.Net.AddHost("broker0"), core.ControllerConfig{
+		Credential: g.UserCred,
+		Registry:   g.Registry,
+	}, broker.Options{
+		Directory:  dir,
+		QueueBound: 3,
+		Workers:    2,
+		RetryAfter: 15 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broker demo: %d batch machines x %d procs, broker queue bound 3, 2 workers\n",
+		machines, procs)
+	fmt.Printf("requests: %d sites x %d processes each; tenant-a floods 5, b and c send 1\n\n",
+		sites, procsPerSite)
+
+	type submission struct {
+		tenant string
+		at     time.Duration
+	}
+	var subs []submission
+	for i := 0; i < 5; i++ {
+		subs = append(subs, submission{"tenant-a", 10*time.Second + time.Duration(i)*100*time.Millisecond})
+	}
+	subs = append(subs,
+		submission{"tenant-b", 11 * time.Second},
+		submission{"tenant-c", 12 * time.Second})
+
+	var mu sync.Mutex
+	simErr := g.Sim.Run("driver", func() {
+		wg := vtime.NewWaitGroup(g.Sim)
+		wg.Add(len(subs))
+		for i, sub := range subs {
+			i, sub := i, sub
+			host := g.Net.AddHost(fmt.Sprintf("%s-%d", sub.tenant, i))
+			g.Sim.GoDaemon(fmt.Sprintf("driver:%s/%d", sub.tenant, i), func() {
+				defer wg.Done()
+				g.Sim.SleepUntil(sub.at)
+				c, err := broker.Dial(host, b.Contact())
+				if err != nil {
+					mu.Lock()
+					fmt.Printf("%s: dial failed: %v\n", sub.tenant, err)
+					mu.Unlock()
+					return
+				}
+				defer c.Close()
+				reply, rejects, err := c.SubmitWait(broker.Request{
+					Tenant:       sub.tenant,
+					Sites:        sites,
+					ProcsPerSite: procsPerSite,
+					Executable:   "app",
+					Spares:       1,
+				}, 0, 20)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					fmt.Printf("t=%-8v %s request %d: FAILED: %v\n", g.Sim.Now(), sub.tenant, i, err)
+					return
+				}
+				fmt.Printf("t=%-8v %s: committed job %s (%d procs, %d attempt(s), %d substitution(s), %d admission reject(s), queued %v)\n",
+					g.Sim.Now(), sub.tenant, reply.JobID, reply.WorldSize,
+					reply.Attempts, reply.Substitutions, rejects, reply.QueueWait)
+			})
+		}
+		wg.Wait()
+	})
+	if opts.TraceW != nil {
+		if err := g.Tracer.WriteChromeTrace(opts.TraceW); err != nil {
+			return fmt.Errorf("write trace: %v", err)
+		}
+	}
+	if opts.CountersW != nil {
+		fmt.Fprintln(opts.CountersW, "\ncounters:")
+		fmt.Fprint(opts.CountersW, g.Counters.String())
+	}
+	return simErr
+}

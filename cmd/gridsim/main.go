@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	gridsim [-f scenario.json | scenario.json] [-demo] [-trace out.json] [-counters]
+//	gridsim [-f scenario.json | scenario.json] [-demo] [-broker]
+//	        [-trace out.json] [-counters]
 //
 // The scenario file may be given either with -f or as the positional
 // argument. -trace writes a Chrome trace_event file of the whole run
 // (open it in chrome://tracing or https://ui.perfetto.dev); -counters
-// prints the event-counter registry after the run.
+// prints the event-counter registry after the run. -broker runs the
+// built-in multi-tenant broker scenario instead of a co-allocation
+// scenario file: three tenants (one flooding) submit through a bounded
+// admission queue, showing backpressure and round-robin fairness.
 //
 // With -demo (or no flags) a built-in scenario runs: five machines, one
 // crashing mid-startup and one slow, handled by substitution from a spare
@@ -96,6 +100,7 @@ var faultKinds = map[string]failure.Kind{
 func main() {
 	file := flag.String("f", "", "scenario file (JSON)")
 	demo := flag.Bool("demo", false, "run the built-in demo scenario")
+	brokerDemo := flag.Bool("broker", false, "run the built-in multi-tenant broker scenario")
 	timeline := flag.Bool("timeline", false, "render the submission timeline and event history")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event file of the run")
 	counters := flag.Bool("counters", false, "print the event-counter registry after the run")
@@ -105,6 +110,26 @@ func main() {
 	if scenarioPath == "" && flag.NArg() > 0 {
 		scenarioPath = flag.Arg(0)
 	}
+	var opts runOptions
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.TraceW = f
+	}
+	if *counters {
+		opts.CountersW = os.Stdout
+	}
+
+	if *brokerDemo {
+		if err := runBrokerDemo(opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var sc Scenario
 	switch {
 	case scenarioPath != "":
@@ -122,18 +147,6 @@ func main() {
 	}
 	sc.Timeline = sc.Timeline || *timeline
 
-	var opts runOptions
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		opts.TraceW = f
-	}
-	if *counters {
-		opts.CountersW = os.Stdout
-	}
 	if err := runWith(sc, opts); err != nil {
 		fatal(err)
 	}

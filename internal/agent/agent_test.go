@@ -225,6 +225,90 @@ func TestOverProvisionCommitsFirstK(t *testing.T) {
 	}
 }
 
+// TestOverProvisionCancelsSurplusAtLRM pins down that the losing subjobs
+// are actually terminated at their resource managers — processors
+// released, nothing left running or queued — not merely dropped from the
+// DUROC job's bookkeeping. A leak here would quietly hold every
+// over-provisioned machine for the full run time. Batch machines are used
+// because their LRMs account processors and running jobs observably.
+func TestOverProvisionCancelsSurplusAtLRM(t *testing.T) {
+	g := grid.New(grid.Options{})
+	for _, name := range []string{"w1", "w2", "w3", "w4", "w5"} {
+		g.AddMachine(name, 64, lrm.Batch)
+	}
+	g.Machine("w4").SetSlowFactor(20)
+	g.Machine("w5").SetSlowFactor(20)
+	// A long-running app keeps the winners visibly holding processors
+	// while the losers' cancellations are verified.
+	g.RegisterEverywhere("holder", func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 0); err != nil {
+			return nil
+		}
+		return p.Work(10*time.Minute, time.Second)
+	})
+	ctrl, err := core.NewController(g.Workstation, core.ControllerConfig{
+		Credential: g.UserCred,
+		Registry:   g.Registry,
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	simErr := g.Sim.Run("agent", func() {
+		var req core.Request
+		for _, name := range []string{"w1", "w2", "w3", "w4", "w5"} {
+			req.Subjobs = append(req.Subjobs, core.SubjobSpec{
+				Contact: g.Contact(name), Count: 4, Executable: "holder", Label: name,
+			})
+		}
+		res, err := agent.OverProvision(ctrl, req, agent.OverProvisionOptions{Needed: 3})
+		if err != nil {
+			t.Errorf("OverProvision: %v", err)
+			return
+		}
+		if res.Deleted != 2 {
+			t.Errorf("deleted = %d, want 2", res.Deleted)
+		}
+		committed := make(map[string]bool)
+		for _, label := range res.Config.SubjobLabels {
+			committed[label] = true
+		}
+		// The winners are mid-barrier-release right now: still holding
+		// their processors.
+		for name := range committed {
+			info := g.Machine(name).QueueInfo()
+			if info.RunningJobs == 0 || info.FreeProcessors == info.Processors {
+				t.Errorf("%s: committed subjob not running at its LRM: %+v", name, info)
+			}
+		}
+		// Give the cancellations a moment to propagate through GRAM to
+		// the losing machines, then inspect their LRMs directly.
+		g.Sim.Sleep(time.Minute)
+		for _, name := range []string{"w1", "w2", "w3", "w4", "w5"} {
+			if committed[name] {
+				continue
+			}
+			info := g.Machine(name).QueueInfo()
+			if info.RunningJobs != 0 || len(info.QueuedJobs) != 0 {
+				t.Errorf("%s: surplus subjob leaked at the LRM: %d running, %d queued",
+					name, info.RunningJobs, len(info.QueuedJobs))
+			}
+			if info.FreeProcessors != info.Processors {
+				t.Errorf("%s: %d of %d processors still held after cancellation",
+					name, info.Processors-info.FreeProcessors, info.Processors)
+			}
+		}
+		res.Job.Done().Wait()
+	})
+	if simErr != nil {
+		t.Fatalf("sim: %v", simErr)
+	}
+}
+
 func TestOverProvisionFailsWhenTooFewSurvive(t *testing.T) {
 	g, ctrl := newRig(t, "w1", "w2", "w3")
 	g.Machine("w2").SetDown(true)

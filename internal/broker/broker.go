@@ -1,0 +1,519 @@
+// Package broker implements a multi-tenant co-allocation broker: the
+// collective-layer resource broker the paper's architecture names but
+// deliberately leaves above DUROC ("some other agent" must pick the
+// resources, Section 2.2).
+//
+// The broker runs as a long-lived simulated process and serves
+// co-allocation requests over internal/rpc from many concurrent clients.
+// It closes the resource-selection loop the mechanism layer leaves open:
+//
+//   - a staleness-aware cache of MDS records, refreshed periodically
+//     instead of queried per request (cache.go);
+//   - candidate selection by published queue-wait forecasts
+//     (agent.SelectByForecast);
+//   - a bounded admission queue with backpressure — saturated brokers
+//     reject with a retry-after hint rather than queueing unboundedly;
+//   - per-tenant round-robin fairness, so one flooding client cannot
+//     starve the others;
+//   - a per-failure-class retry/backoff-and-substitute policy (retry.go)
+//     built on the agent strategies, driving each admitted request
+//     through DUROC until it commits or the policy gives up.
+//
+// Every decision is instrumented with trace events (category "broker")
+// and layer.object.verb@scope counters, so a load study can read queue
+// depth, admission rejects, cache staleness, retries, and end-to-end
+// latency out of one run.
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/core"
+	"cogrid/internal/mds"
+	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// ServiceName is the transport service the broker listens on.
+const ServiceName = "broker"
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueBound      = 16
+	DefaultWorkers         = 4
+	DefaultCacheMaxAge     = 2 * time.Minute
+	DefaultRefreshInterval = time.Minute
+	DefaultRefreshOffset   = 5 * time.Second
+	DefaultRetryAfter      = 30 * time.Second
+	DefaultCommitTimeout   = 30 * time.Minute
+)
+
+// Options configures a broker.
+type Options struct {
+	// Directory is the MDS the broker caches records from.
+	Directory transport.Addr
+	// QueueBound caps requests waiting for a worker; submissions beyond
+	// it are rejected with a retry-after hint. Default DefaultQueueBound.
+	QueueBound int
+	// Workers is the number of co-allocations driven concurrently.
+	// Default DefaultWorkers.
+	Workers int
+	// CacheMaxAge is the staleness bound: a lookup older than this
+	// refreshes synchronously. Default DefaultCacheMaxAge.
+	CacheMaxAge time.Duration
+	// RefreshInterval is the periodic background refresh. Default
+	// DefaultRefreshInterval.
+	RefreshInterval time.Duration
+	// RefreshOffset delays the first background refresh, keeping it off
+	// the t=0 instant where every publisher's initial registration is
+	// still in flight. Default DefaultRefreshOffset.
+	RefreshOffset time.Duration
+	// RetryAfter is the hint returned with admission rejections.
+	// Default DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Retry is the per-failure-class policy. Zero value replaced by
+	// DefaultRetryPolicy().
+	Retry RetryPolicy
+}
+
+func (o *Options) fill() {
+	if o.QueueBound <= 0 {
+		o.QueueBound = DefaultQueueBound
+	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.CacheMaxAge <= 0 {
+		o.CacheMaxAge = DefaultCacheMaxAge
+	}
+	if o.RefreshInterval <= 0 {
+		o.RefreshInterval = DefaultRefreshInterval
+	}
+	if o.RefreshOffset <= 0 {
+		o.RefreshOffset = DefaultRefreshOffset
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = DefaultRetryPolicy()
+	}
+}
+
+// Request is one tenant's co-allocation ask: Sites subjobs of
+// ProcsPerSite processes each, placed on the best forecast candidates,
+// with Spares extra candidates held back as the substitution pool.
+type Request struct {
+	Tenant       string `json:"tenant"`
+	Sites        int    `json:"sites"`
+	ProcsPerSite int    `json:"procs_per_site"`
+	Executable   string `json:"executable"`
+	// Spares is how many extra candidates beyond Sites are selected into
+	// the substitution pool.
+	Spares int `json:"spares,omitempty"`
+	// CommitTimeout bounds each co-allocation attempt. Default
+	// DefaultCommitTimeout.
+	CommitTimeout time.Duration `json:"commit_timeout,omitempty"`
+	// StartupTimeout bounds each subjob's submission-to-check-in (0 =
+	// controller default).
+	StartupTimeout time.Duration `json:"startup_timeout,omitempty"`
+	// MaxTime is the batch wall-time limit per subjob (0 = none).
+	MaxTime time.Duration `json:"max_time,omitempty"`
+}
+
+// Reply reports the outcome of one submission.
+type Reply struct {
+	// Accepted is false when the broker's admission queue was full; the
+	// client should wait RetryAfter and resubmit.
+	Accepted   bool          `json:"accepted"`
+	RetryAfter time.Duration `json:"retry_after,omitempty"`
+	// JobID identifies the committed co-allocation (empty on failure).
+	JobID         string `json:"job_id,omitempty"`
+	Attempts      int    `json:"attempts,omitempty"`
+	Substitutions int    `json:"substitutions,omitempty"`
+	WorldSize     int    `json:"world_size,omitempty"`
+	// QueueWait is the time spent waiting for a worker; Elapsed the
+	// broker-side end-to-end time from admission to outcome.
+	QueueWait time.Duration `json:"queue_wait,omitempty"`
+	Elapsed   time.Duration `json:"elapsed,omitempty"`
+	// Error is the terminal failure after retries were exhausted.
+	Error string `json:"error,omitempty"`
+}
+
+// OK reports whether the request was admitted and committed.
+func (r Reply) OK() bool { return r.Accepted && r.Error == "" }
+
+// ticket is one admitted request waiting for, or being driven by, a
+// worker.
+type ticket struct {
+	id         int
+	req        Request
+	enqueuedAt time.Duration
+	done       *vtime.Event
+	reply      Reply
+}
+
+// Broker is a running broker service.
+type Broker struct {
+	sim  *vtime.Sim
+	host *transport.Host
+	ctrl *core.Controller
+	opts Options
+
+	cache  *cache
+	server *rpc.Server
+
+	mu      sync.Mutex
+	queues  map[string][]*ticket // per-tenant FIFO
+	ring    []string             // tenant round-robin order (first arrival)
+	ringPos int
+	queued  int // total tickets waiting for a worker
+	nextID  int
+
+	wake     *vtime.Chan[struct{}] // kicks the dispatcher on enqueue
+	ready    *vtime.Chan[struct{}] // a worker announcing it is idle
+	dispatch *vtime.Chan[*ticket]  // rendezvous: dispatcher -> idle worker
+}
+
+// New starts a broker on host: a DUROC controller for its own use, the
+// broker RPC endpoint, the cache refresh daemon, the dispatcher, and the
+// worker pool. The controller submits with ctrlCfg's credential.
+func New(host *transport.Host, ctrlCfg core.ControllerConfig, opts Options) (*Broker, error) {
+	opts.fill()
+	ctrl, err := core.NewController(host, ctrlCfg)
+	if err != nil {
+		return nil, err
+	}
+	sim := host.Network().Sim()
+	b := &Broker{
+		sim:      sim,
+		host:     host,
+		ctrl:     ctrl,
+		opts:     opts,
+		cache:    newCache(host, opts.Directory, opts.CacheMaxAge, opts.RefreshInterval, opts.RefreshOffset),
+		queues:   make(map[string][]*ticket),
+		wake:     vtime.NewChan[struct{}](sim, "broker-wake:"+host.Name(), 1),
+		ready:    vtime.NewChan[struct{}](sim, "broker-ready:"+host.Name(), 0),
+		dispatch: vtime.NewChan[*ticket](sim, "broker-dispatch:"+host.Name(), 0),
+	}
+	l, err := host.Listen(ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	b.server = rpc.Serve(sim, l, rpc.HandlerFuncs{Call: b.handleCall}, nil)
+	sim.GoDaemon("broker-dispatch:"+host.Name(), b.dispatcher)
+	for i := 0; i < opts.Workers; i++ {
+		sim.GoDaemon(fmt.Sprintf("broker-worker%d:%s", i, host.Name()), b.worker)
+	}
+	return b, nil
+}
+
+// Contact returns the broker's service address.
+func (b *Broker) Contact() transport.Addr {
+	return transport.Addr{Host: b.host.Name(), Service: ServiceName}
+}
+
+// Controller exposes the broker's DUROC controller (for tests).
+func (b *Broker) Controller() *core.Controller { return b.ctrl }
+
+// QueueDepth returns the number of requests waiting for a worker.
+func (b *Broker) QueueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued
+}
+
+// Close stops accepting connections and halts the cache refresh daemon.
+// In-flight requests run to completion.
+func (b *Broker) Close() {
+	b.server.Close()
+	b.cache.stopRefresh()
+}
+
+func (b *Broker) tracer() *trace.Tracer     { return b.host.Network().Tracer() }
+func (b *Broker) counters() *trace.Counters { return b.host.Network().Counters() }
+
+// count increments broker.object.verb@<broker-host>.
+func (b *Broker) count(object, verb string, delta int64) {
+	b.counters().Add(trace.Key("broker", object, verb, b.host.Name()), delta)
+}
+
+func (b *Broker) handleCall(sc *rpc.ServerConn, method string, body json.RawMessage) (any, error) {
+	switch method {
+	case "submit":
+		var req Request
+		if err := rpc.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return b.submit(req)
+	case "stats":
+		return b.stats(), nil
+	}
+	return nil, fmt.Errorf("broker: unknown method %s", method)
+}
+
+// Stats is a point-in-time snapshot served to clients.
+type Stats struct {
+	QueueDepth int           `json:"queue_depth"`
+	QueueBound int           `json:"queue_bound"`
+	Workers    int           `json:"workers"`
+	Tenants    int           `json:"tenants"`
+	CacheAge   time.Duration `json:"cache_age"`
+	CacheSize  int           `json:"cache_size"`
+}
+
+func (b *Broker) stats() Stats {
+	records, age := b.cache.peek()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		QueueDepth: b.queued,
+		QueueBound: b.opts.QueueBound,
+		Workers:    b.opts.Workers,
+		Tenants:    len(b.ring),
+		CacheAge:   age,
+		CacheSize:  len(records),
+	}
+}
+
+// submit is the blocking server side of one request: admission control,
+// then wait for the worker-driven outcome. It runs in the per-connection
+// RPC loop, so each connection has at most one request in flight — the
+// many-clients concurrency lives in the many connections.
+func (b *Broker) submit(req Request) (Reply, error) {
+	if req.Sites <= 0 || req.ProcsPerSite <= 0 {
+		return Reply{}, fmt.Errorf("broker: need sites > 0 and procs_per_site > 0")
+	}
+	if req.Executable == "" {
+		return Reply{}, fmt.Errorf("broker: missing executable")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "anonymous"
+	}
+	if req.CommitTimeout <= 0 {
+		req.CommitTimeout = DefaultCommitTimeout
+	}
+
+	b.mu.Lock()
+	if b.queued >= b.opts.QueueBound {
+		depth := b.queued
+		b.mu.Unlock()
+		b.count("queue", "reject", 1)
+		b.counters().Add(trace.Key("broker", "tenant", "reject", req.Tenant), 1)
+		b.tracer().Instant("broker", "reject", b.host.Name(), req.Tenant, "",
+			trace.Arg{Key: "depth", Val: strconv.Itoa(depth)},
+			trace.Arg{Key: "retry_after", Val: b.opts.RetryAfter.String()})
+		return Reply{Accepted: false, RetryAfter: b.opts.RetryAfter}, nil
+	}
+	b.nextID++
+	t := &ticket{
+		id:         b.nextID,
+		req:        req,
+		enqueuedAt: b.sim.Now(),
+		done:       vtime.NewEvent(b.sim, fmt.Sprintf("broker-ticket:%d", b.nextID)),
+	}
+	if _, known := b.queues[req.Tenant]; !known {
+		b.ring = append(b.ring, req.Tenant)
+	}
+	b.queues[req.Tenant] = append(b.queues[req.Tenant], t)
+	b.queued++
+	depth := b.queued
+	b.mu.Unlock()
+
+	b.count("queue", "enqueue", 1)
+	b.tracer().Instant("broker", "enqueue", b.host.Name(), req.Tenant, b.corr(t),
+		trace.Arg{Key: "depth", Val: strconv.Itoa(depth)})
+	b.wake.TrySend(struct{}{})
+
+	t.done.Wait()
+	return t.reply, nil
+}
+
+// corr is the correlation ID tying one ticket's queue-wait, attempts, and
+// request span together.
+func (b *Broker) corr(t *ticket) string { return b.host.Name() + "#req" + strconv.Itoa(t.id) }
+
+// dispatcher pops tickets in per-tenant round-robin order and hands each
+// to an idle worker. A ticket leaves the queue only once a worker has
+// announced readiness, so QueueDepth and the admission bound account for
+// every waiting request exactly.
+func (b *Broker) dispatcher() {
+	for {
+		b.ready.Recv()
+		for {
+			t := b.pop()
+			if t != nil {
+				b.dispatch.Send(t)
+				break
+			}
+			b.wake.Recv()
+		}
+	}
+}
+
+// pop removes the next ticket by round-robin across tenants with waiting
+// requests. The ring preserves first-arrival tenant order, making the
+// schedule deterministic.
+func (b *Broker) pop() *ticket {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.ring)
+	for i := 0; i < n; i++ {
+		tenant := b.ring[(b.ringPos+i)%n]
+		q := b.queues[tenant]
+		if len(q) == 0 {
+			continue
+		}
+		t := q[0]
+		b.queues[tenant] = q[1:]
+		b.queued--
+		b.ringPos = (b.ringPos + i + 1) % n
+		return t
+	}
+	return nil
+}
+
+// worker drives admitted requests through DUROC, one at a time,
+// announcing idleness to the dispatcher between requests.
+func (b *Broker) worker() {
+	for {
+		b.ready.Send(struct{}{})
+		t, ok := b.dispatch.Recv()
+		if !ok {
+			return
+		}
+		b.serve(t)
+	}
+}
+
+// serve runs one ticket to a terminal reply: select candidates from the
+// cache, drive the co-allocation with substitution, and on failure apply
+// the per-class retry policy.
+func (b *Broker) serve(t *ticket) {
+	req := t.req
+	dequeuedAt := b.sim.Now()
+	b.count("queue", "dequeue", 1)
+	b.tracer().SpanAt("broker", "queue-wait", b.host.Name(), req.Tenant, b.corr(t),
+		t.enqueuedAt, dequeuedAt)
+
+	var reply Reply
+	reply.Accepted = true
+	reply.QueueWait = dequeuedAt - t.enqueuedAt
+
+	policy := b.opts.Retry
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		reply.Attempts = attempt
+		res, err := b.attempt(t, attempt)
+		if err == nil {
+			reply.JobID = res.Job.ID()
+			reply.Substitutions += res.Substitutions
+			reply.WorldSize = res.Config.WorldSize
+			break
+		}
+		lastErr = err
+		class := Classify(err)
+		b.count("retry", string(class), 1)
+		decision := policy.For(class)
+		if !decision.Retry || attempt == policy.MaxAttempts {
+			reply.Error = err.Error()
+			break
+		}
+		backoff := policy.BackoffFor(class, attempt)
+		b.tracer().Instant("broker", "backoff", b.host.Name(), req.Tenant, b.corr(t),
+			trace.Arg{Key: "class", Val: string(class)},
+			trace.Arg{Key: "backoff", Val: backoff.String()})
+		b.sim.Sleep(backoff)
+		if class == ClassNoCandidates {
+			// A fresh-but-thin cache would fail identically; force a
+			// refresh so the next attempt sees newly published records.
+			b.cache.refresh()
+		}
+	}
+	_ = lastErr
+
+	reply.Elapsed = b.sim.Now() - t.enqueuedAt
+	outcome := "ok"
+	if reply.Error != "" {
+		outcome = "fail"
+	}
+	b.count("request", outcome, 1)
+	b.counters().Add(trace.Key("broker", "tenant", outcome, req.Tenant), 1)
+	b.tracer().SpanAt("broker", "request", b.host.Name(), req.Tenant, b.corr(t),
+		t.enqueuedAt, b.sim.Now(),
+		trace.Arg{Key: "outcome", Val: outcome},
+		trace.Arg{Key: "attempts", Val: strconv.Itoa(reply.Attempts)})
+	t.reply = reply
+	t.done.Set()
+}
+
+// attempt performs one candidate selection and one substitution-strategy
+// co-allocation for t.
+func (b *Broker) attempt(t *ticket, attempt int) (agent.Result, error) {
+	req := t.req
+	start := b.sim.Now()
+	records := b.cache.get()
+	want := req.Sites + req.Spares
+	// Selection trusts the published forecasts exactly (sigma 0): broker
+	// determinism must not depend on concurrent draw order from the
+	// kernel's shared RNG.
+	candidates := agent.SelectByForecast(records, req.ProcsPerSite, want, 0, nil)
+	finish := func(outcome string) {
+		b.tracer().Span("broker", "attempt", b.host.Name(), req.Tenant, b.corr(t), start,
+			trace.Arg{Key: "n", Val: strconv.Itoa(attempt)},
+			trace.Arg{Key: "outcome", Val: outcome})
+	}
+	if len(candidates) < req.Sites {
+		finish(string(ClassNoCandidates))
+		return agent.Result{}, fmt.Errorf("%w: %d of %d sites available",
+			ErrNoCandidates, len(candidates), req.Sites)
+	}
+	creq := core.Request{}
+	for i := 0; i < req.Sites; i++ {
+		contact, err := transport.ParseAddr(candidates[i].Contact)
+		if err != nil {
+			finish("bad-contact")
+			return agent.Result{}, fmt.Errorf("broker: record %q: %v", candidates[i].Name, err)
+		}
+		creq.Subjobs = append(creq.Subjobs, core.SubjobSpec{
+			Label:          fmt.Sprintf("req%d.%d/%s", t.id, attempt, candidates[i].Name),
+			Contact:        contact,
+			Count:          req.ProcsPerSite,
+			Executable:     req.Executable,
+			Type:           core.Interactive,
+			MaxTime:        req.MaxTime,
+			StartupTimeout: req.StartupTimeout,
+		})
+	}
+	var pool []transport.Addr
+	for _, rec := range candidates[req.Sites:] {
+		contact, err := transport.ParseAddr(rec.Contact)
+		if err != nil {
+			continue
+		}
+		pool = append(pool, contact)
+	}
+	res, err := agent.WithSubstitution(b.ctrl, creq, agent.SubstituteOptions{
+		Pool:          pool,
+		CommitTimeout: req.CommitTimeout,
+	})
+	if err != nil {
+		finish(string(Classify(err)))
+		return res, err
+	}
+	finish("ok")
+	return res, nil
+}
+
+// RecordsForTest exposes the cache contents (for tests).
+func (b *Broker) RecordsForTest() []mds.Record {
+	records, _ := b.cache.peek()
+	return records
+}

@@ -1,0 +1,121 @@
+package broker
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"cogrid/internal/mds"
+	"cogrid/internal/trace"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// cache is the broker's staleness-aware view of the directory. A refresh
+// daemon re-queries the MDS every interval; lookups served within the
+// staleness bound are hits, older ones refresh synchronously before
+// answering. This replaces the per-request directory query of the
+// in-process agents — the paper's [14] point that load information is
+// only worth acting on while it remains valid, applied as a cache policy.
+type cache struct {
+	sim      *vtime.Sim
+	host     *transport.Host
+	dir      transport.Addr
+	maxAge   time.Duration
+	interval time.Duration
+	stop     *vtime.Event
+
+	mu        sync.Mutex
+	records   []mds.Record
+	fetchedAt time.Duration
+	have      bool
+}
+
+func newCache(host *transport.Host, dir transport.Addr, maxAge, interval, offset time.Duration) *cache {
+	sim := host.Network().Sim()
+	c := &cache{
+		sim:      sim,
+		host:     host,
+		dir:      dir,
+		maxAge:   maxAge,
+		interval: interval,
+		stop:     vtime.NewEvent(sim, "broker-cache-stop:"+host.Name()),
+	}
+	sim.GoDaemon("broker-cache:"+host.Name(), func() {
+		// The offset keeps periodic refreshes off the instants where
+		// publishers re-register, so a refresh never races a register
+		// at the directory within one virtual instant.
+		if c.stop.WaitTimeout(offset) {
+			return
+		}
+		for {
+			c.refresh()
+			if c.stop.WaitTimeout(c.interval) {
+				return
+			}
+		}
+	})
+	return c
+}
+
+func (c *cache) stopRefresh() { c.stop.Set() }
+
+// refresh queries the directory and replaces the cached records. Failures
+// (directory unreachable) keep the previous records; staleness accounting
+// surfaces the gap.
+func (c *cache) refresh() {
+	start := c.sim.Now()
+	client, err := mds.Dial(c.host, c.dir)
+	if err != nil {
+		c.count("refresh-error", 1)
+		return
+	}
+	records, err := client.Query(mds.Filter{})
+	client.Close()
+	if err != nil {
+		c.count("refresh-error", 1)
+		return
+	}
+	c.mu.Lock()
+	c.records = records
+	c.fetchedAt = c.sim.Now()
+	c.have = true
+	c.mu.Unlock()
+	c.count("refresh", 1)
+	c.host.Network().Tracer().Span("broker", "cache-refresh", c.host.Name(), "cache", "", start,
+		trace.Arg{Key: "records", Val: strconv.Itoa(len(records))})
+}
+
+// get returns the cached records, refreshing synchronously when the copy
+// is older than the staleness bound (or absent). Counters classify every
+// lookup as hit or stale.
+func (c *cache) get() []mds.Record {
+	c.mu.Lock()
+	fresh := c.have && c.sim.Now()-c.fetchedAt <= c.maxAge
+	records := c.records
+	c.mu.Unlock()
+	if fresh {
+		c.count("hit", 1)
+		return records
+	}
+	c.count("stale", 1)
+	c.refresh()
+	c.mu.Lock()
+	records = c.records
+	c.mu.Unlock()
+	return records
+}
+
+// peek returns the cached records and their age without refreshing.
+func (c *cache) peek() ([]mds.Record, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.have {
+		return nil, 0
+	}
+	return c.records, c.sim.Now() - c.fetchedAt
+}
+
+func (c *cache) count(verb string, delta int64) {
+	c.host.Network().Counters().Add(trace.Key("broker", "cache", verb, c.host.Name()), delta)
+}

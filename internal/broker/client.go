@@ -1,0 +1,74 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/rpc"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// Client submits co-allocation requests to a broker.
+type Client struct {
+	sim  *vtime.Sim
+	rpcc *rpc.Client
+}
+
+// Dial connects to a broker service.
+func Dial(from *transport.Host, addr transport.Addr) (*Client, error) {
+	conn, err := from.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial: %v", err)
+	}
+	sim := from.Network().Sim()
+	return &Client{sim: sim, rpcc: rpc.NewClient(sim, conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() { c.rpcc.Close() }
+
+// Submit sends one request and waits for the broker's terminal reply —
+// which may be an admission rejection (Accepted false) carrying a
+// retry-after hint. The timeout bounds the whole broker-side execution
+// (queueing, retries, commits); 0 selects a generous default.
+func (c *Client) Submit(req Request, timeout time.Duration) (Reply, error) {
+	if timeout <= 0 {
+		timeout = 24 * time.Hour
+	}
+	var reply Reply
+	err := c.rpcc.Call("submit", req, &reply, timeout)
+	return reply, err
+}
+
+// SubmitWait submits and, while the broker reports saturation, honors
+// the retry-after hint and resubmits, up to maxRejects rejections. It
+// returns the terminal reply and the number of rejections absorbed.
+func (c *Client) SubmitWait(req Request, timeout time.Duration, maxRejects int) (Reply, int, error) {
+	rejects := 0
+	for {
+		reply, err := c.Submit(req, timeout)
+		if err != nil {
+			return reply, rejects, err
+		}
+		if reply.Accepted {
+			return reply, rejects, nil
+		}
+		rejects++
+		if rejects > maxRejects {
+			return reply, rejects, fmt.Errorf("broker: saturated after %d rejections", rejects)
+		}
+		wait := reply.RetryAfter
+		if wait <= 0 {
+			wait = DefaultRetryAfter
+		}
+		c.sim.Sleep(wait)
+	}
+}
+
+// Stats fetches the broker's current queue and cache snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var s Stats
+	err := c.rpcc.Call("stats", nil, &s, time.Minute)
+	return s, err
+}

@@ -1,0 +1,114 @@
+package broker
+
+import (
+	"errors"
+	"time"
+
+	"cogrid/internal/core"
+)
+
+// ErrNoCandidates reports that the cache held fewer viable resources than
+// the request needs.
+var ErrNoCandidates = errors.New("broker: not enough candidate resources")
+
+// Class partitions co-allocation failures by what went wrong, so the
+// retry policy can react differently to congestion, churn, and dead
+// resources — the failure taxonomy of the paper's Section 3.2 lifted to
+// broker policy.
+type Class string
+
+const (
+	// ClassNoCandidates: the directory view held too few machines.
+	// Retrying waits for publishers to register or records to refresh.
+	ClassNoCandidates Class = "no-candidates"
+	// ClassCommitTimeout: the ensemble never fully checked in — typically
+	// batch queues too deep. Backing off lets queues drain.
+	ClassCommitTimeout Class = "commit-timeout"
+	// ClassPoolExhausted: subjobs failed faster than the substitution
+	// pool could cover. A re-selection on fresher records may pick
+	// healthier machines.
+	ClassPoolExhausted Class = "pool-exhausted"
+	// ClassAborted: the co-allocation aborted (e.g. a required failure
+	// or lost resource-manager contact mid-flight).
+	ClassAborted Class = "aborted"
+	// ClassOther: anything else (submission or protocol errors).
+	ClassOther Class = "other"
+)
+
+// Classify maps a co-allocation error to its failure class.
+func Classify(err error) Class {
+	switch {
+	case errors.Is(err, ErrNoCandidates):
+		return ClassNoCandidates
+	case errors.Is(err, core.ErrCommitTimeout):
+		return ClassCommitTimeout
+	case errors.Is(err, core.ErrSubjobNotReady):
+		return ClassPoolExhausted
+	case errors.Is(err, core.ErrAborted):
+		return ClassAborted
+	}
+	return ClassOther
+}
+
+// ClassDecision is the policy for one failure class.
+type ClassDecision struct {
+	// Retry enables another attempt for this class.
+	Retry bool
+	// Backoff is the base delay before the next attempt; it grows by the
+	// policy's BackoffFactor with each further attempt.
+	Backoff time.Duration
+}
+
+// RetryPolicy is the broker's per-failure-class retry/backoff schedule.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per request (>= 1).
+	MaxAttempts int
+	// BackoffFactor multiplies the class backoff per additional attempt
+	// (1.0 = constant; default 2.0).
+	BackoffFactor float64
+	// Classes overrides the decision per class; classes not present use
+	// Default.
+	Classes map[Class]ClassDecision
+	// Default applies to classes without an explicit entry.
+	Default ClassDecision
+}
+
+// DefaultRetryPolicy is the stock schedule: three attempts, doubling
+// backoff, with congestion (commit-timeout) backing off longest and
+// thin directories waiting for the next publish round.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   3,
+		BackoffFactor: 2,
+		Classes: map[Class]ClassDecision{
+			ClassNoCandidates:  {Retry: true, Backoff: 30 * time.Second},
+			ClassCommitTimeout: {Retry: true, Backoff: time.Minute},
+			ClassPoolExhausted: {Retry: true, Backoff: 15 * time.Second},
+			ClassAborted:       {Retry: true, Backoff: 15 * time.Second},
+		},
+		Default: ClassDecision{Retry: true, Backoff: 15 * time.Second},
+	}
+}
+
+// For returns the decision for class.
+func (p RetryPolicy) For(class Class) ClassDecision {
+	if d, ok := p.Classes[class]; ok {
+		return d
+	}
+	return p.Default
+}
+
+// BackoffFor returns the delay before the attempt following failed
+// attempt n (1-based): base * factor^(n-1).
+func (p RetryPolicy) BackoffFor(class Class, n int) time.Duration {
+	d := p.For(class).Backoff
+	factor := p.BackoffFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	out := float64(d)
+	for i := 1; i < n; i++ {
+		out *= factor
+	}
+	return time.Duration(out)
+}

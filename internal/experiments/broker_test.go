@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// tinyBrokerConfig keeps the study small enough for the test gate.
+func tinyBrokerConfig() BrokerLoadConfig {
+	return BrokerLoadConfig{
+		Machines:      3,
+		MachineSize:   16,
+		Sites:         2,
+		ProcsPerSite:  4,
+		Workers:       2,
+		WorkTime:      time.Minute,
+		Requests:      8,
+		Tenants:       2,
+		RatesPerMin:   []float64{4, 12},
+		QueueBounds:   []int{2},
+		ClosedClients: []int{2},
+		Seed:          1,
+	}
+}
+
+func TestBrokerLoadStudySmoke(t *testing.T) {
+	res := BrokerLoadStudy(tinyBrokerConfig())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (2 open + 1 closed)", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Completed+row.Failed != row.Requests {
+			t.Errorf("row %d: completed %d + failed %d != requests %d",
+				i, row.Completed, row.Failed, row.Requests)
+		}
+		if row.Completed > 0 && (row.P50 <= 0 || row.P99 < row.P50) {
+			t.Errorf("row %d: implausible latencies p50=%v p99=%v", i, row.P50, row.P99)
+		}
+		if row.Completed > 0 && row.ThroughputPerMin <= 0 {
+			t.Errorf("row %d: throughput = %v with %d completed",
+				i, row.ThroughputPerMin, row.Completed)
+		}
+	}
+	if tbl := res.Table().String(); tbl == "" {
+		t.Errorf("empty table")
+	}
+}
+
+func TestBrokerLoadBackpressureVisible(t *testing.T) {
+	// At the top offered rate with a tiny queue bound, admission rejects
+	// must show up in the counters (the acceptance criterion for B1).
+	cfg := tinyBrokerConfig()
+	row, _ := BrokerLoadRun(cfg, 12, 1)
+	if row.Rejects == 0 {
+		t.Errorf("rejects = 0 at 12/min with queue bound 1; row = %+v", row)
+	}
+	if row.Completed == 0 {
+		t.Errorf("nothing completed: %+v", row)
+	}
+}
+
+func TestBrokerLoadDeterminism(t *testing.T) {
+	// Two same-config runs must agree byte for byte on both the counter
+	// registry and the full trace export.
+	cfg := tinyBrokerConfig()
+	row1, g1 := BrokerLoadRun(cfg, 12, 2)
+	row2, g2 := BrokerLoadRun(cfg, 12, 2)
+	if row1 != row2 {
+		t.Errorf("rows differ:\n  %+v\n  %+v", row1, row2)
+	}
+	if c1, c2 := g1.Counters.String(), g2.Counters.String(); c1 != c2 {
+		t.Errorf("counter registries differ:\n--- run1\n%s--- run2\n%s", c1, c2)
+	}
+	var t1, t2 bytes.Buffer
+	if err := g1.Tracer.WriteJSONL(&t1); err != nil {
+		t.Fatalf("trace 1: %v", err)
+	}
+	if err := g2.Tracer.WriteJSONL(&t2); err != nil {
+		t.Fatalf("trace 2: %v", err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Errorf("trace exports differ (%d vs %d bytes)", t1.Len(), t2.Len())
+	}
+}

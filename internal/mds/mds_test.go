@@ -1,6 +1,7 @@
 package mds_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -92,6 +93,109 @@ func TestRecordsExpire(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("sim: %v", err)
+	}
+}
+
+// TestTTLExpiryRacesConcurrentPublishes drives TTL expiry against
+// concurrent re-registrations and refreshing readers (run under -race by
+// the check gate): a fast publisher republishes well inside the TTL, a
+// slow one republishes at an interval longer than the TTL so its record
+// flaps in and out of visibility, while two query clients poll
+// throughout. The TTL invariant must hold at every observation — no query
+// ever returns a record older than the TTL — and both visibility states
+// of the slow record must actually occur.
+func TestTTLExpiryRacesConcurrentPublishes(t *testing.T) {
+	const ttl = 50 * time.Second
+	g := grid.New(grid.Options{})
+	dirHost := g.Net.AddHost("mds0")
+	if _, err := mds.NewServer(dirHost, ttl); err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	dir := transport.Addr{Host: "mds0", Service: mds.ServiceName}
+
+	type observation struct {
+		at    time.Duration
+		names map[string]time.Duration // name -> record age at query time
+	}
+	var mu sync.Mutex
+	var obs []observation
+
+	const horizon = 5 * time.Minute
+	publisher := func(host *transport.Host, name string, interval time.Duration) {
+		g.Sim.GoDaemon("pub:"+name, func() {
+			for g.Sim.Now() < horizon {
+				c, err := mds.Dial(host, dir)
+				if err == nil {
+					c.Register(mds.Record{Name: name, Contact: name + ":gram", Processors: 8})
+					c.Close()
+				}
+				g.Sim.Sleep(interval)
+			}
+		})
+	}
+	querier := func(host *transport.Host, every time.Duration) {
+		g.Sim.GoDaemon("query:"+host.Name(), func() {
+			for g.Sim.Now() < horizon {
+				g.Sim.Sleep(every)
+				c, err := mds.Dial(host, dir)
+				if err != nil {
+					continue
+				}
+				recs, err := c.Query(mds.Filter{})
+				c.Close()
+				if err != nil {
+					continue
+				}
+				o := observation{at: g.Sim.Now(), names: map[string]time.Duration{}}
+				for _, rec := range recs {
+					o.names[rec.Name] = g.Sim.Now() - rec.UpdatedAt
+				}
+				mu.Lock()
+				obs = append(obs, o)
+				mu.Unlock()
+			}
+		})
+	}
+
+	err := g.Sim.Run("main", func() {
+		publisher(g.Net.AddHost("pub-fast"), "fast", 20*time.Second)
+		publisher(g.Net.AddHost("pub-slow"), "slow", 80*time.Second) // > TTL: flaps
+		querier(g.Net.AddHost("q1"), 7*time.Second)
+		querier(g.Net.AddHost("q2"), 11*time.Second)
+		g.Sim.SleepUntil(horizon + time.Second)
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(obs) < 20 {
+		t.Fatalf("only %d observations", len(obs))
+	}
+	slowSeen, slowMissing := false, false
+	for _, o := range obs {
+		for name, age := range o.names {
+			// The RPC takes a couple of network hops, so allow the
+			// record to age marginally past the TTL in transit.
+			if age > ttl+time.Second {
+				t.Errorf("t=%v: query returned %s aged %v, past TTL %v", o.at, name, age, ttl)
+			}
+		}
+		if o.at > 30*time.Second { // fast publisher established by then
+			if _, ok := o.names["fast"]; !ok {
+				t.Errorf("t=%v: fast record missing (republishes every 20s)", o.at)
+			}
+		}
+		if _, ok := o.names["slow"]; ok {
+			slowSeen = true
+		} else if o.at > time.Second {
+			slowMissing = true
+		}
+	}
+	if !slowSeen || !slowMissing {
+		t.Errorf("slow record should flap: seen=%v missing=%v over %d observations",
+			slowSeen, slowMissing, len(obs))
 	}
 }
 
