@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke
+.PHONY: check quick vet build test race bench-smoke chaos-smoke
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -26,3 +26,8 @@ race:
 # a fast end-to-end smoke of the broker service and its reporting.
 bench-smoke:
 	$(GO) run ./cmd/benchgrid -fig none -app broker -smoke
+
+# A seconds-scale chaos study: faults injected mid-run, exits non-zero
+# if any allocation leaks or a recorded orphan is never reaped.
+chaos-smoke:
+	$(GO) run ./cmd/benchgrid -fig none -app chaos -smoke

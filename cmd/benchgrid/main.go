@@ -4,14 +4,18 @@
 // Usage:
 //
 //	benchgrid [-fig 2|3|4|5|all]
-//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|ablation|all]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|ablation|all]
 //	          [-seed N] [-trials N] [-json] [-smoke]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
 // see EXPERIMENTS.md for the paper-versus-measured comparison. With -json
 // the selected results are emitted as one JSON document (durations in
-// nanoseconds) for plotting pipelines. -smoke shrinks the broker load
-// study to a seconds-long configuration for CI gates.
+// nanoseconds) for plotting pipelines. -smoke shrinks the broker load and
+// chaos studies to seconds-long configurations for CI gates.
+//
+// The chaos study doubles as a leak check: benchgrid exits non-zero if
+// any row leaves a non-terminal job on a machine after quiescence or
+// records an orphan that was never reaped.
 package main
 
 import (
@@ -27,7 +31,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
-	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, ablation, all, or none")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, ablation, all, or none")
 	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
@@ -79,6 +83,8 @@ func main() {
 		loadStudy(*seed, *trials)
 	case "broker":
 		brokerStudy(*seed, *smoke)
+	case "chaos":
+		chaosStudy(*seed, *smoke)
 	case "ablation":
 		ablation()
 	case "all":
@@ -89,6 +95,7 @@ func main() {
 		reserve(*seed)
 		loadStudy(*seed, *trials)
 		brokerStudy(*seed, *smoke)
+		chaosStudy(*seed, *smoke)
 		ablation()
 	case "none":
 	default:
@@ -144,6 +151,13 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) 
 	}
 	if appOn("broker") {
 		out["b1_broker_load"] = experiments.BrokerLoadStudy(brokerConfig(seed, smoke))
+	}
+	if appOn("chaos") {
+		res := experiments.ChaosStudy(chaosConfig(seed, smoke))
+		if err := chaosLeakCheck(res); err != nil {
+			return err
+		}
+		out["b2_chaos"] = res
 	}
 	if appOn("ablation") {
 		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
@@ -273,6 +287,66 @@ func brokerStudy(seed int64, smoke bool) {
 	fmt.Print(res.Table())
 	fmt.Println("(internal/broker: bounded admission pushes back when offered load")
 	fmt.Println(" exceeds what the machines drain; rejects are admission rejections)")
+}
+
+// chaosConfig selects the chaos study size: the stock configuration, or a
+// seconds-long smoke setting for CI (make chaos-smoke). The smoke run
+// shifts the default seed to 3, where the high-fault row exercises the
+// full orphan pipeline — a host crash strands committed subjobs, a
+// machine restart brings the gatekeeper back, and the reaper drains them.
+func chaosConfig(seed int64, smoke bool) experiments.ChaosConfig {
+	if !smoke {
+		return experiments.ChaosConfig{Seed: seed}
+	}
+	if seed == 1 {
+		seed = 3
+	}
+	return experiments.ChaosConfig{
+		Machines:     4,
+		MachineSize:  16,
+		Sites:        2,
+		ProcsPerSite: 4,
+		Spares:       1,
+		Workers:      2,
+		WorkTime:     45 * time.Second,
+		Requests:     6,
+		Tenants:      2,
+		RatePerMin:   4,
+		FaultRates:   []float64{0, 0.75},
+		Window:       2 * time.Minute,
+		MaxTime:      4 * time.Minute,
+		SubmitBudget: 6 * time.Minute,
+		Seed:         seed,
+	}
+}
+
+// chaosLeakCheck enforces the chaos study's resilience criterion: no row
+// may leave live jobs on any machine after quiescence, and every orphan
+// recorded mid-2PC must have been reaped at its resource manager.
+func chaosLeakCheck(res experiments.ChaosResult) error {
+	for _, row := range res.Rows {
+		if row.LeakedJobs != 0 {
+			return fmt.Errorf("chaos: fault rate %.2f leaked %d jobs after quiescence",
+				row.FaultRate, row.LeakedJobs)
+		}
+		if row.OrphansRecorded != row.OrphansReaped {
+			return fmt.Errorf("chaos: fault rate %.2f recorded %d orphans but reaped %d",
+				row.FaultRate, row.OrphansRecorded, row.OrphansReaped)
+		}
+	}
+	return nil
+}
+
+func chaosStudy(seed int64, smoke bool) {
+	section("B2 — broker resilience under injected faults (chaos study)")
+	res := experiments.ChaosStudy(chaosConfig(seed, smoke))
+	fmt.Print(res.Table())
+	fmt.Println("(internal/failure through internal/broker: every fault heals in-run,")
+	fmt.Println(" so the acceptance bar is zero leaked jobs and orphans rec == reaped)")
+	if err := chaosLeakCheck(res); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgrid:", err)
+		os.Exit(1)
+	}
 }
 
 func ablation() {

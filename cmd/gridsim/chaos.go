@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/experiments"
+)
+
+// runChaosDemo runs the built-in chaos scenario: the smoke-sized B2
+// configuration at its highest fault rate. Machines crash, hang, slow
+// down, and partition from the broker mid-run while Poisson arrivals keep
+// submitting; the narrative shows how many requests still commit, what
+// the per-attempt watchdog aborted, and — the point of the exercise —
+// that every committed-but-lost subjob was reaped at its resource
+// manager, so nothing keeps holding processors. Observability outputs
+// (trace, counters) follow opts.
+func runChaosDemo(opts runOptions) error {
+	cfg := experiments.ChaosConfig{
+		Machines:     4,
+		MachineSize:  16,
+		Sites:        2,
+		ProcsPerSite: 4,
+		Spares:       1,
+		Workers:      2,
+		WorkTime:     45 * time.Second,
+		Requests:     6,
+		Tenants:      2,
+		RatePerMin:   4,
+		Window:       2 * time.Minute,
+		MaxTime:      4 * time.Minute,
+		SubmitBudget: 6 * time.Minute,
+		// Seed 3's draw includes host crashes followed by machine restarts,
+		// so the orphan reaper has real work to show.
+		Seed: 3,
+	}
+	const faultRate = 0.75
+	fmt.Printf("chaos demo: %d batch machines x %d procs, %d broker workers, fault rate %.2f\n",
+		cfg.Machines, cfg.MachineSize, cfg.Workers, faultRate)
+	fmt.Printf("requests: %d arrivals (Poisson, %.0f/min) of %d sites x %d processes each\n\n",
+		cfg.Requests, cfg.RatePerMin, cfg.Sites, cfg.ProcsPerSite)
+
+	row, g := experiments.ChaosRun(cfg, faultRate)
+
+	fmt.Printf("faults injected: %d (%s)\n", row.Faults, row.FaultKinds)
+	fmt.Printf("requests:        %d committed, %d failed, %d abandoned at deadline\n",
+		row.Completed, row.Failed, row.Abandoned)
+	fmt.Printf("broker retries:  %d (admission rejects: %d)\n", row.Retries, row.Rejects)
+	fmt.Printf("watchdog aborts: %d\n", row.WatchdogAborts)
+	if row.FaultClasses != "" {
+		fmt.Printf("fault classes:   %s\n", row.FaultClasses)
+	}
+	fmt.Printf("orphans:         %d recorded, %d reaped\n", row.OrphansRecorded, row.OrphansReaped)
+	fmt.Printf("leaked jobs:     %d (live LRM jobs after quiescence)\n", row.LeakedJobs)
+	if row.Completed > 0 {
+		fmt.Printf("latency:         p50 %v, p99 %v\n", row.P50, row.P99)
+	}
+
+	if opts.TraceW != nil {
+		if err := g.Tracer.WriteChromeTrace(opts.TraceW); err != nil {
+			return fmt.Errorf("write trace: %v", err)
+		}
+	}
+	if opts.CountersW != nil {
+		fmt.Fprintln(opts.CountersW, "\ncounters:")
+		fmt.Fprint(opts.CountersW, g.Counters.String())
+	}
+	if row.LeakedJobs != 0 || row.OrphansRecorded != row.OrphansReaped {
+		return fmt.Errorf("chaos demo leaked: %d live jobs, orphans %d/%d",
+			row.LeakedJobs, row.OrphansRecorded, row.OrphansReaped)
+	}
+	fmt.Println("\nno leaks: every orphaned subjob was cancelled at its resource manager")
+	return nil
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gridsim [-f scenario.json | scenario.json] [-demo] [-broker]
+//	gridsim [-f scenario.json | scenario.json] [-demo] [-broker] [-chaos]
 //	        [-trace out.json] [-counters]
 //
 // The scenario file may be given either with -f or as the positional
@@ -14,7 +14,11 @@
 // prints the event-counter registry after the run. -broker runs the
 // built-in multi-tenant broker scenario instead of a co-allocation
 // scenario file: three tenants (one flooding) submit through a bounded
-// admission queue, showing backpressure and round-robin fairness.
+// admission queue, showing backpressure and round-robin fairness. -chaos
+// runs the built-in chaos scenario: the broker load replayed against a
+// grid where machines crash, hang, and partition mid-run, showing the
+// request deadline, the per-attempt watchdog, and the orphan reaper
+// keeping the grid leak-free.
 //
 // With -demo (or no flags) a built-in scenario runs: five machines, one
 // crashing mid-startup and one slow, handled by substitution from a spare
@@ -33,7 +37,7 @@
 //
 // Fault kinds: host-crash, host-hang, host-restore, machine-slow (with
 // "factor"), machine-down, machine-up, partition/heal (with "target2"),
-// revoke-user, reinstate-user.
+// revoke-user, reinstate-user, machine-restart.
 package main
 
 import (
@@ -85,22 +89,24 @@ type FaultSpec struct {
 }
 
 var faultKinds = map[string]failure.Kind{
-	"host-crash":     failure.HostCrash,
-	"host-hang":      failure.HostHang,
-	"host-restore":   failure.HostRestore,
-	"machine-slow":   failure.MachineSlow,
-	"machine-down":   failure.MachineDown,
-	"machine-up":     failure.MachineUp,
-	"partition":      failure.Partition,
-	"heal":           failure.Heal,
-	"revoke-user":    failure.RevokeUser,
-	"reinstate-user": failure.ReinstateUser,
+	"host-crash":      failure.HostCrash,
+	"host-hang":       failure.HostHang,
+	"host-restore":    failure.HostRestore,
+	"machine-slow":    failure.MachineSlow,
+	"machine-down":    failure.MachineDown,
+	"machine-up":      failure.MachineUp,
+	"partition":       failure.Partition,
+	"heal":            failure.Heal,
+	"revoke-user":     failure.RevokeUser,
+	"reinstate-user":  failure.ReinstateUser,
+	"machine-restart": failure.MachineRestart,
 }
 
 func main() {
 	file := flag.String("f", "", "scenario file (JSON)")
 	demo := flag.Bool("demo", false, "run the built-in demo scenario")
 	brokerDemo := flag.Bool("broker", false, "run the built-in multi-tenant broker scenario")
+	chaosDemo := flag.Bool("chaos", false, "run the built-in broker chaos scenario (faults injected mid-run)")
 	timeline := flag.Bool("timeline", false, "render the submission timeline and event history")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event file of the run")
 	counters := flag.Bool("counters", false, "print the event-counter registry after the run")
@@ -125,6 +131,12 @@ func main() {
 
 	if *brokerDemo {
 		if err := runBrokerDemo(opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *chaosDemo {
+		if err := runChaosDemo(opts); err != nil {
 			fatal(err)
 		}
 		return

@@ -69,6 +69,12 @@ type SubstituteOptions struct {
 	// is exhausted (proceed with reduced fidelity); otherwise the
 	// allocation aborts.
 	DropUnreplaceable bool
+	// OnJob, if set, is called with the job as soon as submission
+	// succeeds, before the strategy starts driving it. Callers use it to
+	// attach external supervision (e.g. the broker's per-attempt
+	// watchdog) to a job they otherwise only see after the strategy
+	// returns.
+	OnJob func(*core.Job)
 }
 
 // WithSubstitution submits the request and services interactive-failure
@@ -80,6 +86,9 @@ func WithSubstitution(ctrl *core.Controller, req core.Request, opts SubstituteOp
 	job, err := ctrl.Submit(req)
 	if err != nil {
 		return Result{}, err
+	}
+	if opts.OnJob != nil {
+		opts.OnJob(job)
 	}
 	res := Result{Job: job}
 	sim := ctrl.Sim()

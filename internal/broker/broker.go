@@ -28,12 +28,14 @@ package broker
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"cogrid/internal/agent"
 	"cogrid/internal/core"
+	"cogrid/internal/gram"
 	"cogrid/internal/mds"
 	"cogrid/internal/rpc"
 	"cogrid/internal/trace"
@@ -53,7 +55,19 @@ const (
 	DefaultRefreshOffset   = 5 * time.Second
 	DefaultRetryAfter      = 30 * time.Second
 	DefaultCommitTimeout   = 30 * time.Minute
+	// DefaultReapInterval paces the orphan reaper's retry sweeps. Off
+	// the minute boundary so sweeps don't pile onto publisher rounds.
+	DefaultReapInterval = 45 * time.Second
 )
+
+// watchdogGrace is how far past its commit budget one attempt may run
+// before the per-attempt watchdog aborts it: the margin within which the
+// substitution agent's own timeout is expected to fire first.
+const watchdogGrace = 30 * time.Second
+
+// reapCancelTimeout bounds each reap-sweep cancel RPC, so one still-hung
+// resource manager delays, but cannot stall, a sweep.
+const reapCancelTimeout = 30 * time.Second
 
 // Options configures a broker.
 type Options struct {
@@ -78,6 +92,10 @@ type Options struct {
 	// RetryAfter is the hint returned with admission rejections.
 	// Default DefaultRetryAfter.
 	RetryAfter time.Duration
+	// ReapInterval paces the orphan reaper: how often unconfirmed
+	// subjob cancellations are retried at their resource managers.
+	// Default DefaultReapInterval.
+	ReapInterval time.Duration
 	// Retry is the per-failure-class policy. Zero value replaced by
 	// DefaultRetryPolicy().
 	Retry RetryPolicy
@@ -101,6 +119,9 @@ func (o *Options) fill() {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = DefaultRetryAfter
+	}
+	if o.ReapInterval <= 0 {
+		o.ReapInterval = DefaultReapInterval
 	}
 	if o.Retry.MaxAttempts == 0 {
 		o.Retry = DefaultRetryPolicy()
@@ -126,6 +147,14 @@ type Request struct {
 	StartupTimeout time.Duration `json:"startup_timeout,omitempty"`
 	// MaxTime is the batch wall-time limit per subjob (0 = none).
 	MaxTime time.Duration `json:"max_time,omitempty"`
+	// Deadline is the absolute virtual time past which the client has
+	// abandoned this request (its RPC timeout will have fired); zero
+	// means none. The broker threads it through queue wait, attempt
+	// budgets, and backoff sleeps: once it passes, the request is marked
+	// abandoned instead of burning further attempts into the void.
+	// Client.Submit stamps it from its timeout; client and broker share
+	// one virtual clock, so no skew correction is needed.
+	Deadline time.Duration `json:"deadline,omitempty"`
 }
 
 // Reply reports the outcome of one submission.
@@ -162,10 +191,11 @@ type ticket struct {
 
 // Broker is a running broker service.
 type Broker struct {
-	sim  *vtime.Sim
-	host *transport.Host
-	ctrl *core.Controller
-	opts Options
+	sim     *vtime.Sim
+	host    *transport.Host
+	ctrl    *core.Controller
+	ctrlCfg core.ControllerConfig // kept for reap-sweep redials
+	opts    Options
 
 	cache  *cache
 	server *rpc.Server
@@ -176,42 +206,57 @@ type Broker struct {
 	ringPos int
 	queued  int // total tickets waiting for a worker
 	nextID  int
+	orphans map[string]core.Orphan // unconfirmed cancels awaiting reap
 
 	wake     *vtime.Chan[struct{}] // kicks the dispatcher on enqueue
 	ready    *vtime.Chan[struct{}] // a worker announcing it is idle
 	dispatch *vtime.Chan[*ticket]  // rendezvous: dispatcher -> idle worker
+	reapStop *vtime.Event          // halts the orphan reaper
 }
 
 // New starts a broker on host: a DUROC controller for its own use, the
-// broker RPC endpoint, the cache refresh daemon, the dispatcher, and the
-// worker pool. The controller submits with ctrlCfg's credential.
+// broker RPC endpoint, the cache refresh daemon, the dispatcher, the
+// worker pool, and the orphan reaper. The controller submits with
+// ctrlCfg's credential; subjobs whose cancellation the controller cannot
+// confirm are handed to the reaper, which retries them until their
+// resource managers answer.
 func New(host *transport.Host, ctrlCfg core.ControllerConfig, opts Options) (*Broker, error) {
 	opts.fill()
-	ctrl, err := core.NewController(host, ctrlCfg)
-	if err != nil {
-		return nil, err
-	}
 	sim := host.Network().Sim()
 	b := &Broker{
 		sim:      sim,
 		host:     host,
-		ctrl:     ctrl,
+		ctrlCfg:  ctrlCfg,
 		opts:     opts,
-		cache:    newCache(host, opts.Directory, opts.CacheMaxAge, opts.RefreshInterval, opts.RefreshOffset),
 		queues:   make(map[string][]*ticket),
+		orphans:  make(map[string]core.Orphan),
 		wake:     vtime.NewChan[struct{}](sim, "broker-wake:"+host.Name(), 1),
 		ready:    vtime.NewChan[struct{}](sim, "broker-ready:"+host.Name(), 0),
 		dispatch: vtime.NewChan[*ticket](sim, "broker-dispatch:"+host.Name(), 0),
+		reapStop: vtime.NewEvent(sim, "broker-reap-stop:"+host.Name()),
 	}
-	l, err := host.Listen(ServiceName)
+	ctrlCfg.OnOrphan = b.addOrphan
+	ctrl, err := core.NewController(host, ctrlCfg)
 	if err != nil {
 		return nil, err
 	}
+	b.ctrl = ctrl
+	l, err := host.Listen(ServiceName)
+	if err != nil {
+		// Tear the controller (and its barrier listener) back down: a
+		// half-constructed broker must not leak it.
+		ctrl.Close()
+		return nil, err
+	}
+	// The cache starts its refresh daemon immediately, so it is created
+	// only after every fallible construction step has passed.
+	b.cache = newCache(host, opts.Directory, opts.CacheMaxAge, opts.RefreshInterval, opts.RefreshOffset)
 	b.server = rpc.Serve(sim, l, rpc.HandlerFuncs{Call: b.handleCall}, nil)
 	sim.GoDaemon("broker-dispatch:"+host.Name(), b.dispatcher)
 	for i := 0; i < opts.Workers; i++ {
 		sim.GoDaemon(fmt.Sprintf("broker-worker%d:%s", i, host.Name()), b.worker)
 	}
+	sim.GoDaemon("broker-reaper:"+host.Name(), b.reaper)
 	return b, nil
 }
 
@@ -230,11 +275,26 @@ func (b *Broker) QueueDepth() int {
 	return b.queued
 }
 
-// Close stops accepting connections and halts the cache refresh daemon.
-// In-flight requests run to completion.
+// Close stops accepting connections and halts the cache refresh and
+// orphan-reap daemons. In-flight requests run to completion. The DUROC
+// controller (and its barrier listener) deliberately stays up: committed
+// computations outlive their broker replies and still need the barrier
+// endpoint and cancel paths — the construction-time listener leak lived
+// in New's error path, which tears the controller down itself. Orphans
+// still pending when Close is called are abandoned; drain them first via
+// OrphansPending if that matters.
 func (b *Broker) Close() {
 	b.server.Close()
 	b.cache.stopRefresh()
+	b.reapStop.Set()
+}
+
+// OrphansPending reports how many unconfirmed cancellations await a
+// successful reap. Zero after quiescence means no subjob leaked.
+func (b *Broker) OrphansPending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.orphans)
 }
 
 func (b *Broker) tracer() *trace.Tracer     { return b.host.Network().Tracer() }
@@ -395,7 +455,10 @@ func (b *Broker) worker() {
 
 // serve runs one ticket to a terminal reply: select candidates from the
 // cache, drive the co-allocation with substitution, and on failure apply
-// the per-class retry policy.
+// the per-class retry policy. The request's deadline is checked before
+// every attempt and every backoff sleep: past it the client's RPC
+// timeout has already fired, so further work would serve nobody — the
+// request is marked abandoned instead.
 func (b *Broker) serve(t *ticket) {
 	req := t.req
 	dequeuedAt := b.sim.Now()
@@ -407,26 +470,41 @@ func (b *Broker) serve(t *ticket) {
 	reply.Accepted = true
 	reply.QueueWait = dequeuedAt - t.enqueuedAt
 
+	deadline := req.Deadline
+	expired := func() bool { return deadline > 0 && b.sim.Now() >= deadline }
+
 	policy := b.opts.Retry
-	var lastErr error
+	abandoned := false
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if expired() {
+			// Queue wait or the previous attempt consumed the budget.
+			abandoned = true
+			break
+		}
 		reply.Attempts = attempt
-		res, err := b.attempt(t, attempt)
+		res, err := b.attempt(t, attempt, deadline)
+		b.countFaults(res.Job)
 		if err == nil {
 			reply.JobID = res.Job.ID()
 			reply.Substitutions += res.Substitutions
 			reply.WorldSize = res.Config.WorldSize
 			break
 		}
-		lastErr = err
 		class := Classify(err)
 		b.count("retry", string(class), 1)
 		decision := policy.For(class)
 		if !decision.Retry || attempt == policy.MaxAttempts {
 			reply.Error = err.Error()
+			b.count("fail", string(class), 1)
 			break
 		}
 		backoff := policy.BackoffFor(class, attempt)
+		if deadline > 0 && b.sim.Now()+backoff >= deadline {
+			// The deadline lands inside the backoff sleep: the next
+			// attempt could only start after the client has given up.
+			abandoned = true
+			break
+		}
 		b.tracer().Instant("broker", "backoff", b.host.Name(), req.Tenant, b.corr(t),
 			trace.Arg{Key: "class", Val: string(class)},
 			trace.Arg{Key: "backoff", Val: backoff.String()})
@@ -437,11 +515,18 @@ func (b *Broker) serve(t *ticket) {
 			b.cache.refresh()
 		}
 	}
-	_ = lastErr
+	if abandoned {
+		reply.Error = fmt.Sprintf("broker: request abandoned at deadline after %d attempts", reply.Attempts)
+		b.tracer().Instant("broker", "abandon", b.host.Name(), req.Tenant, b.corr(t),
+			trace.Arg{Key: "attempts", Val: strconv.Itoa(reply.Attempts)})
+	}
 
 	reply.Elapsed = b.sim.Now() - t.enqueuedAt
 	outcome := "ok"
-	if reply.Error != "" {
+	switch {
+	case abandoned:
+		outcome = "abandoned"
+	case reply.Error != "":
 		outcome = "fail"
 	}
 	b.count("request", outcome, 1)
@@ -454,9 +539,28 @@ func (b *Broker) serve(t *ticket) {
 	t.done.Set()
 }
 
+// countFaults rolls each failed subjob's reason into a per-fault-class
+// counter (broker.fault.<class>), so a chaos run can read which failure
+// modes the serve path absorbed — substitutions included, which the
+// attempt's terminal error alone would hide.
+func (b *Broker) countFaults(job *core.Job) {
+	if job == nil {
+		return
+	}
+	for _, ev := range job.History() {
+		if ev.Kind == core.EvSubjobFailed {
+			b.count("fault", FaultClass(ev.Reason), 1)
+		}
+	}
+}
+
 // attempt performs one candidate selection and one substitution-strategy
-// co-allocation for t.
-func (b *Broker) attempt(t *ticket, attempt int) (agent.Result, error) {
+// co-allocation for t, with its commit budget trimmed to the request
+// deadline and a watchdog that aborts the attempt if it wedges past that
+// budget (a lost resource manager mid-2PC shows up only as lack of
+// progress; the abort discards the subjobs, whose unconfirmed cancels
+// then flow to the orphan reaper).
+func (b *Broker) attempt(t *ticket, attempt int, deadline time.Duration) (agent.Result, error) {
 	req := t.req
 	start := b.sim.Now()
 	records := b.cache.get()
@@ -500,16 +604,134 @@ func (b *Broker) attempt(t *ticket, attempt int) (agent.Result, error) {
 		}
 		pool = append(pool, contact)
 	}
+	budget := req.CommitTimeout
+	if deadline > 0 {
+		if remaining := deadline - b.sim.Now(); remaining < budget {
+			budget = remaining
+		}
+	}
+	var watchdog *vtime.Timer
 	res, err := agent.WithSubstitution(b.ctrl, creq, agent.SubstituteOptions{
 		Pool:          pool,
-		CommitTimeout: req.CommitTimeout,
+		CommitTimeout: budget,
+		OnJob: func(job *core.Job) {
+			watchdog = b.sim.AfterFunc(budget+watchdogGrace, func() {
+				if attemptSettled(job) {
+					return
+				}
+				b.count("watchdog", "abort", 1)
+				b.tracer().Instant("broker", "watchdog-abort", b.host.Name(), req.Tenant, b.corr(t),
+					trace.Arg{Key: "budget", Val: (budget + watchdogGrace).String()})
+				job.Abort("broker: attempt watchdog fired after " + (budget + watchdogGrace).String())
+			})
+		},
 	})
+	if watchdog != nil {
+		watchdog.Stop()
+	}
 	if err != nil {
 		finish(string(Classify(err)))
 		return res, err
 	}
 	finish("ok")
 	return res, nil
+}
+
+// attemptSettled reports whether the attempt's job already reached a
+// decision — committed (a released subjob exists) or terminated — in
+// which case a late watchdog firing must not abort a healthy
+// computation.
+func attemptSettled(job *core.Job) bool {
+	if job.Done().IsSet() {
+		return true
+	}
+	for _, info := range job.Status() {
+		if info.Status == core.SJReleased {
+			return true
+		}
+	}
+	return false
+}
+
+// addOrphan receives a subjob whose cancel the controller could not
+// confirm and queues it for the reaper.
+func (b *Broker) addOrphan(o core.Orphan) {
+	key := o.Job + "/" + o.Subjob
+	b.mu.Lock()
+	b.orphans[key] = o
+	b.mu.Unlock()
+	b.count("orphan", "record", 1)
+	// The event args must not depend on the orphan set's size: concurrent
+	// cancel daemons record at the same instant in nondeterministic order,
+	// and a running count would leak that order into the trace.
+	b.tracer().Instant("broker", "orphan", b.host.Name(), key, "",
+		trace.Arg{Key: "rm", Val: o.RM.String()},
+		trace.Arg{Key: "reason", Val: o.Reason})
+}
+
+// reaper retries the cancellation of every orphaned subjob until its
+// resource manager confirms — the guarantee that a committed-but-lost
+// subjob stops holding processors as soon as the fault that hid it
+// heals.
+func (b *Broker) reaper() {
+	for {
+		if b.reapStop.WaitTimeout(b.opts.ReapInterval) {
+			return
+		}
+		b.reapPending()
+	}
+}
+
+// reapPending sweeps the orphan set once. Orphans are recorded by
+// concurrent cancel daemons in nondeterministic order, so the sweep
+// walks a sorted snapshot to keep reap timing (and the trace) identical
+// across same-seed runs.
+func (b *Broker) reapPending() {
+	b.mu.Lock()
+	keys := make([]string, 0, len(b.orphans))
+	for k := range b.orphans {
+		keys = append(keys, k)
+	}
+	b.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.mu.Lock()
+		o, ok := b.orphans[k]
+		b.mu.Unlock()
+		if !ok || !b.reapOne(k, o) {
+			continue
+		}
+		b.mu.Lock()
+		delete(b.orphans, k)
+		b.mu.Unlock()
+		b.count("orphan", "reaped", 1)
+	}
+}
+
+// reapOne re-dials the orphan's resource manager and re-issues the
+// cancel. Cancellation is idempotent at the LRM — cancelling a job that
+// already finished, failed, or was cancelled by the earlier attempt
+// whose acknowledgment was lost is a no-op — so confirmation here is
+// always safe.
+func (b *Broker) reapOne(key string, o core.Orphan) bool {
+	start := b.sim.Now()
+	client, err := gram.Dial(b.host, o.RM, gram.ClientConfig{
+		Credential: b.ctrlCfg.Credential,
+		Registry:   b.ctrlCfg.Registry,
+		AuthCost:   b.ctrlCfg.AuthCost,
+	})
+	if err != nil {
+		b.count("reap", "retry", 1)
+		return false
+	}
+	defer client.Close()
+	if err := client.CancelTimeout(o.JobContact, reapCancelTimeout); err != nil {
+		b.count("reap", "retry", 1)
+		return false
+	}
+	b.tracer().SpanAt("broker", "reap", b.host.Name(), key, "", start, b.sim.Now(),
+		trace.Arg{Key: "rm", Val: o.RM.String()})
+	return true
 }
 
 // RecordsForTest exposes the cache contents (for tests).

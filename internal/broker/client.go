@@ -15,12 +15,18 @@ type Client struct {
 	rpcc *rpc.Client
 }
 
-// Dial connects to a broker service.
-func Dial(from *transport.Host, addr transport.Addr) (*Client, error) {
+// Dial connects to a broker service. On any construction failure the
+// dialed connection is closed before returning.
+func Dial(from *transport.Host, addr transport.Addr) (c *Client, err error) {
 	conn, err := from.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial: %v", err)
 	}
+	defer func() {
+		if err != nil {
+			conn.Close()
+		}
+	}()
 	sim := from.Network().Sim()
 	return &Client{sim: sim, rpcc: rpc.NewClient(sim, conn)}, nil
 }
@@ -28,13 +34,23 @@ func Dial(from *transport.Host, addr transport.Addr) (*Client, error) {
 // Close releases the connection.
 func (c *Client) Close() { c.rpcc.Close() }
 
+// DefaultSubmitTimeout is the broker-side execution bound applied when a
+// submit's timeout is zero.
+const DefaultSubmitTimeout = 24 * time.Hour
+
 // Submit sends one request and waits for the broker's terminal reply —
 // which may be an admission rejection (Accepted false) carrying a
 // retry-after hint. The timeout bounds the whole broker-side execution
-// (queueing, retries, commits); 0 selects a generous default.
+// (queueing, retries, commits); 0 selects DefaultSubmitTimeout. Unless
+// the request already carries one, the timeout is also stamped into
+// req.Deadline so the broker stops working on the request once this
+// call has abandoned it (client and broker share the virtual clock).
 func (c *Client) Submit(req Request, timeout time.Duration) (Reply, error) {
 	if timeout <= 0 {
-		timeout = 24 * time.Hour
+		timeout = DefaultSubmitTimeout
+	}
+	if req.Deadline == 0 {
+		req.Deadline = c.sim.Now() + timeout
 	}
 	var reply Reply
 	err := c.rpcc.Call("submit", req, &reply, timeout)
@@ -44,10 +60,25 @@ func (c *Client) Submit(req Request, timeout time.Duration) (Reply, error) {
 // SubmitWait submits and, while the broker reports saturation, honors
 // the retry-after hint and resubmits, up to maxRejects rejections. It
 // returns the terminal reply and the number of rejections absorbed.
+// The timeout is a total budget across every round — attempts and
+// retry-after sleeps included — not a per-attempt allowance; once spent,
+// SubmitWait fails fast instead of granting each resubmission a fresh
+// timeout. 0 selects DefaultSubmitTimeout.
 func (c *Client) SubmitWait(req Request, timeout time.Duration, maxRejects int) (Reply, int, error) {
+	if timeout <= 0 {
+		timeout = DefaultSubmitTimeout
+	}
+	deadline := c.sim.Now() + timeout
+	if req.Deadline == 0 {
+		req.Deadline = deadline
+	}
 	rejects := 0
 	for {
-		reply, err := c.Submit(req, timeout)
+		remaining := deadline - c.sim.Now()
+		if remaining <= 0 {
+			return Reply{}, rejects, fmt.Errorf("broker: submit budget exhausted after %d rejections", rejects)
+		}
+		reply, err := c.Submit(req, remaining)
 		if err != nil {
 			return reply, rejects, err
 		}
@@ -61,6 +92,9 @@ func (c *Client) SubmitWait(req Request, timeout time.Duration, maxRejects int) 
 		wait := reply.RetryAfter
 		if wait <= 0 {
 			wait = DefaultRetryAfter
+		}
+		if c.sim.Now()+wait >= deadline {
+			return reply, rejects, fmt.Errorf("broker: submit budget exhausted after %d rejections", rejects)
 		}
 		c.sim.Sleep(wait)
 	}

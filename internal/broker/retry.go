@@ -2,6 +2,7 @@ package broker
 
 import (
 	"errors"
+	"strings"
 	"time"
 
 	"cogrid/internal/core"
@@ -59,6 +60,12 @@ type ClassDecision struct {
 	Backoff time.Duration
 }
 
+// DefaultMaxBackoff caps exponential backoff growth when a policy does
+// not set its own bound. A broker sleep should never outlive the queue
+// of work behind it, let alone the multi-hour delays an uncapped
+// doubling schedule reaches within a few dozen attempts.
+const DefaultMaxBackoff = 10 * time.Minute
+
 // RetryPolicy is the broker's per-failure-class retry/backoff schedule.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts per request (>= 1).
@@ -66,6 +73,11 @@ type RetryPolicy struct {
 	// BackoffFactor multiplies the class backoff per additional attempt
 	// (1.0 = constant; default 2.0).
 	BackoffFactor float64
+	// MaxBackoff caps the grown backoff; zero or negative selects
+	// DefaultMaxBackoff. The cap also guards against float overflow at
+	// high attempt counts, which would otherwise wrap into a bogus
+	// (possibly negative) Duration.
+	MaxBackoff time.Duration
 	// Classes overrides the decision per class; classes not present use
 	// Default.
 	Classes map[Class]ClassDecision
@@ -80,6 +92,7 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{
 		MaxAttempts:   3,
 		BackoffFactor: 2,
+		MaxBackoff:    5 * time.Minute,
 		Classes: map[Class]ClassDecision{
 			ClassNoCandidates:  {Retry: true, Backoff: 30 * time.Second},
 			ClassCommitTimeout: {Retry: true, Backoff: time.Minute},
@@ -99,16 +112,50 @@ func (p RetryPolicy) For(class Class) ClassDecision {
 }
 
 // BackoffFor returns the delay before the attempt following failed
-// attempt n (1-based): base * factor^(n-1).
+// attempt n (1-based): base * factor^(n-1), clamped to the policy's
+// MaxBackoff (DefaultMaxBackoff when unset).
 func (p RetryPolicy) BackoffFor(class Class, n int) time.Duration {
 	d := p.For(class).Backoff
 	factor := p.BackoffFactor
 	if factor <= 0 {
 		factor = 1
 	}
+	limit := p.MaxBackoff
+	if limit <= 0 {
+		limit = DefaultMaxBackoff
+	}
 	out := float64(d)
-	for i := 1; i < n; i++ {
+	// Stop growing as soon as the cap is reached: iterating further would
+	// overflow float64 into a value time.Duration cannot represent.
+	for i := 1; i < n && out < float64(limit); i++ {
 		out *= factor
 	}
+	if out > float64(limit) {
+		return limit
+	}
 	return time.Duration(out)
+}
+
+// FaultClass buckets a subjob failure reason by the kind of injected or
+// natural fault that produced it — the observable form each of the
+// paper's Section 2 failure modes takes at the broker. It powers the
+// broker.fault.<class> counters a chaos run is read through.
+func FaultClass(reason string) string {
+	switch {
+	case strings.Contains(reason, "gsi:"):
+		return "auth-rejected"
+	case strings.Contains(reason, "lost contact"):
+		return "lost-contact"
+	case strings.Contains(reason, "startup timeout"):
+		return "slow-start"
+	case strings.Contains(reason, "machine is down"):
+		return "machine-down"
+	case strings.Contains(reason, "dial"):
+		return "unreachable"
+	case strings.Contains(reason, "resource manager reported failure"):
+		return "lrm-report"
+	case strings.Contains(reason, "exited before"):
+		return "early-exit"
+	}
+	return "other"
 }

@@ -41,6 +41,35 @@ type ControllerConfig struct {
 	// Timeline, if set, records per-subjob submission, startup-wait, and
 	// barrier phases (Figure 5).
 	Timeline gram.PhaseRecorder
+	// CancelTimeout bounds each best-effort cancel RPC issued when a
+	// subjob is discarded. A hung or partitioned resource manager must
+	// not pin the cancel daemon for the full GRAM call timeout; a short
+	// bound converts it into an orphan report instead. Default 30 s.
+	CancelTimeout time.Duration
+	// OnOrphan, when set, receives every subjob whose LRM-side
+	// cancellation could not be confirmed (resource-manager contact lost
+	// mid-2PC): the remote job may still hold processors, and someone —
+	// typically the broker's reaper — must retry the cancel until the
+	// resource manager answers. The callback runs on the cancel daemon
+	// and must not block.
+	OnOrphan func(Orphan)
+}
+
+// Orphan identifies a subjob whose cancel was issued but never
+// acknowledged: a committed-but-lost allocation that may leak processors
+// at its LRM until re-cancelled.
+type Orphan struct {
+	// Job and Subjob locate the co-allocation and its subjob label.
+	Job    string
+	Subjob string
+	// RM is the GRAM gatekeeper to re-dial; JobContact the LRM job to
+	// cancel there.
+	RM         transport.Addr
+	JobContact string
+	// Reason is the error the failed cancel returned.
+	Reason string
+	// At is the virtual time the orphan was recorded.
+	At time.Duration
 }
 
 // Controller is the co-allocation agent's side of DUROC: it owns the
@@ -64,6 +93,9 @@ func NewController(host *transport.Host, cfg ControllerConfig) (*Controller, err
 	}
 	if cfg.DefaultStartupTimeout == 0 {
 		cfg.DefaultStartupTimeout = 10 * time.Minute
+	}
+	if cfg.CancelTimeout == 0 {
+		cfg.CancelTimeout = 30 * time.Second
 	}
 	c := &Controller{
 		sim:  host.Network().Sim(),
@@ -193,6 +225,19 @@ func (c *Controller) HandleCall(sc *rpc.ServerConn, method string, body json.Raw
 // HandleNotify implements rpc.Handler; the barrier service has no
 // notifications.
 func (c *Controller) HandleNotify(sc *rpc.ServerConn, method string, body json.RawMessage) {}
+
+// orphaned records a failed cancel: the trace instant and counter make
+// the potential processor leak visible, and the OnOrphan hook hands the
+// contact to whoever owns reaping.
+func (c *Controller) orphaned(o Orphan) {
+	c.tracer().Instant("duroc", "orphan", c.host.Name(), o.Job+"/"+o.Subjob, "",
+		trace.Arg{Key: "rm", Val: o.RM.String()},
+		trace.Arg{Key: "reason", Val: o.Reason})
+	c.counters().Add(trace.Key("duroc", "orphan", "record", c.host.Name()), 1)
+	if c.cfg.OnOrphan != nil {
+		c.cfg.OnOrphan(o)
+	}
+}
 
 // record emits a timeline span if a recorder is configured, and mirrors the
 // phase into the trace stream so the Figure 5 timeline is derivable from a

@@ -268,13 +268,35 @@ func (j *Job) discardLocked(sj *subjob, status SubjobStatus, reason string) {
 	client, contact := sj.client, sj.contact
 	sj.client = nil
 	if client != nil {
-		j.c.sim.GoDaemon("duroc-cancel:"+j.id+"/"+sj.spec.Label, func() {
+		spec := sj.spec
+		j.c.sim.GoDaemon("duroc-cancel:"+j.id+"/"+spec.Label, func() {
 			if contact != "" {
-				client.Cancel(contact)
+				j.cancelRemote(client, spec, contact)
 			}
 			client.Close()
 		})
 	}
+}
+
+// cancelRemote issues a best-effort cancel for a discarded subjob's LRM
+// job. A cancel that cannot be confirmed — the resource manager crashed,
+// hung, or partitioned away mid-2PC — is recorded as an orphan: the
+// remote job may still hold processors, and the contact must be retried
+// by whoever owns reaping (ControllerConfig.OnOrphan).
+func (j *Job) cancelRemote(client *gram.Client, spec SubjobSpec, contact string) {
+	err := client.CancelTimeout(contact, j.c.cfg.CancelTimeout)
+	if err == nil {
+		return
+	}
+	j.c.counters().Add(trace.Key("duroc", "cancel", "fail", j.c.host.Name()), 1)
+	j.c.orphaned(Orphan{
+		Job:        j.id,
+		Subjob:     spec.Label,
+		RM:         spec.Contact,
+		JobContact: contact,
+		Reason:     err.Error(),
+		At:         j.c.sim.Now(),
+	})
 }
 
 func (j *Job) pokeLocked() {
@@ -334,9 +356,11 @@ func (j *Job) submitSubjob(sj *subjob) {
 
 	j.mu.Lock()
 	if sj.status != SJQueued || j.terminated {
-		// Deleted or aborted while we were submitting: undo.
+		// Deleted or aborted while we were submitting: undo. The undo is
+		// subject to the same lost-contact risk as any discard, so an
+		// unconfirmed cancel is recorded as an orphan here too.
 		j.mu.Unlock()
-		client.Cancel(contact)
+		j.cancelRemote(client, sj.spec, contact)
 		client.Close()
 		return
 	}

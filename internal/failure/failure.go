@@ -40,6 +40,11 @@ const (
 	RevokeUser
 	// ReinstateUser restores a revoked credential.
 	ReinstateUser
+	// MachineRestart reboots a crashed machine: the host comes back and a
+	// fresh gatekeeper starts, with the LRM's job table intact — the
+	// recovery action that lets leaked allocations on a crashed machine be
+	// reaped.
+	MachineRestart
 )
 
 func (k Kind) String() string {
@@ -64,6 +69,8 @@ func (k Kind) String() string {
 		return "revoke-user"
 	case ReinstateUser:
 		return "reinstate-user"
+	case MachineRestart:
+		return "machine-restart"
 	}
 	return "invalid"
 }
@@ -136,6 +143,10 @@ func apply(g *grid.Grid, a Action) {
 		g.Registry.Revoke(a.Target)
 	case ReinstateUser:
 		g.Registry.Reinstate(a.Target)
+	case MachineRestart:
+		if g.Machine(a.Target) != nil {
+			g.RestartMachine(a.Target)
+		}
 	}
 }
 

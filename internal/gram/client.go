@@ -98,7 +98,17 @@ func (c *Client) Submit(rslSrc string) (string, error) {
 
 // Cancel kills the job with the given contact.
 func (c *Client) Cancel(contact string) error {
-	return c.rpcc.Call("cancel", contactArgs{JobContact: contact}, nil, CallTimeout)
+	return c.CancelTimeout(contact, CallTimeout)
+}
+
+// CancelTimeout is Cancel with a caller-chosen deadline, for best-effort
+// cleanup paths that must detect an unresponsive resource manager
+// quickly rather than blocking for the full CallTimeout.
+func (c *Client) CancelTimeout(contact string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = CallTimeout
+	}
+	return c.rpcc.Call("cancel", contactArgs{JobContact: contact}, nil, timeout)
 }
 
 // Suspend pauses the job's processes.

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -100,9 +101,8 @@ type Server struct {
 	machine *lrm.Machine
 	cfg     ServerConfig
 
-	mu      sync.Mutex
-	nextJob int
-	jobs    map[string]*lrm.Job
+	mu   sync.Mutex
+	jobs map[string]*lrm.Job
 }
 
 // StartServer starts a gatekeeper for machine.
@@ -268,12 +268,22 @@ func (s *Server) HandleNotify(sc *rpc.ServerConn, method string, body json.RawMe
 
 func (s *Server) lookup(contact string) (*lrm.Job, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job, ok := s.jobs[contact]
-	if !ok {
-		return nil, ErrNoSuchJob
+	s.mu.Unlock()
+	if ok {
+		return job, nil
 	}
-	return job, nil
+	// The contact embeds its LRM job id, so a gatekeeper restarted after
+	// a host crash — empty contact table, but the machine's job state
+	// intact — still resolves contacts its predecessor issued. Without
+	// this, a committed-but-lost job on a rebooted machine could never be
+	// cancelled again.
+	if id, ok := strings.CutPrefix(contact, s.Contact().String()+"/"); ok {
+		if job, err := s.machine.Job(id); err == nil {
+			return job, nil
+		}
+	}
+	return nil, ErrNoSuchJob
 }
 
 // handleSubmit runs the gatekeeper pipeline: misc parsing, initgroups,
@@ -310,9 +320,10 @@ func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, er
 		return nil, err
 	}
 
+	// The contact is derived from the LRM job id (not a per-server
+	// counter) so it stays resolvable across gatekeeper restarts.
+	contact := fmt.Sprintf("%s/%s", s.Contact(), job.ID())
 	s.mu.Lock()
-	s.nextJob++
-	contact := fmt.Sprintf("%s/%d", s.Contact(), s.nextJob)
 	s.jobs[contact] = job
 	s.mu.Unlock()
 

@@ -136,6 +136,36 @@ func (g *Grid) AddMachine(name string, processors int, mode lrm.Mode) *lrm.Machi
 	return machine
 }
 
+// RestartMachine reboots a crashed machine's host and starts a fresh
+// gatekeeper on it. The LRM keeps its job table — a crash severs the
+// network (listeners, live connections), not the simulated scheduler
+// state — so jobs that survived locally stay visible and cancellable,
+// which is what lets an orphan reaper drain a machine after it returns.
+// Panics if the machine is unknown.
+func (g *Grid) RestartMachine(name string) {
+	machine, ok := g.machines[name]
+	if !ok {
+		panic(fmt.Sprintf("grid: restart of unknown machine %q", name))
+	}
+	machine.Host().RestoreCrashed()
+	var recorder gram.PhaseRecorder
+	if g.Timeline != nil {
+		recorder = g.Timeline
+	}
+	server, err := gram.StartServer(machine, gram.ServerConfig{
+		Credential: g.Registry.Issue("host/" + name),
+		Registry:   g.Registry,
+		AuthCost:   g.opts.AuthCost,
+		Cost:       g.opts.GRAMCost,
+		NISAddr:    g.NISAddr,
+		Timeline:   recorder,
+	})
+	if err != nil {
+		panic(err) // restored host has no listeners: cannot fail
+	}
+	g.servers[name] = server
+}
+
 // Machine returns a machine by name, or nil.
 func (g *Grid) Machine(name string) *lrm.Machine { return g.machines[name] }
 

@@ -195,6 +195,28 @@ func (m *Machine) SetDown(down bool) {
 	m.down = down
 }
 
+// LiveJobs counts jobs that have not reached a terminal state — the
+// machine-side ground truth a chaos run checks against zero after
+// quiescence: any survivor is a leaked allocation whose cancel never
+// landed. Job states are read outside m.mu (each Job has its own lock,
+// taken by completion paths that also take m.mu), so the count is a
+// snapshot, exact once the machine is quiescent.
+func (m *Machine) LiveJobs() int {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	live := 0
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			live++
+		}
+	}
+	return live
+}
+
 // JobSpec describes one job submission.
 type JobSpec struct {
 	Executable string

@@ -33,4 +33,7 @@ go test $short ./...
 echo "== go test -race $short ./..."
 go test -race $short ./...
 
+echo "== chaos smoke (leak check)"
+go run ./cmd/benchgrid -fig none -app chaos -smoke >/dev/null
+
 echo "ok: all checks passed"
