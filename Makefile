@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -31,3 +31,9 @@ bench-smoke:
 # if any allocation leaks or a recorded orphan is never reaped.
 chaos-smoke:
 	$(GO) run ./cmd/benchgrid -fig none -app chaos -smoke
+
+# Runs the causal-trace analyzer over a B1 smoke run and exits non-zero
+# on any unattributed event, broken request tree, or critical path that
+# does not sum exactly to its request's end-to-end latency.
+trace-smoke:
+	$(GO) run ./cmd/tracegrid -smoke -check

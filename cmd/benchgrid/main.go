@@ -5,13 +5,17 @@
 //
 //	benchgrid [-fig 2|3|4|5|all]
 //	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|ablation|all]
-//	          [-seed N] [-trials N] [-json] [-smoke]
+//	          [-seed N] [-trials N] [-json] [-smoke] [-analyze trace.jsonl]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
 // see EXPERIMENTS.md for the paper-versus-measured comparison. With -json
 // the selected results are emitted as one JSON document (durations in
 // nanoseconds) for plotting pipelines. -smoke shrinks the broker load and
-// chaos studies to seconds-long configurations for CI gates.
+// chaos studies to seconds-long configurations for CI gates. -analyze
+// reads a JSONL trace (exported by `gridsim -trace-jsonl`), rebuilds the
+// per-request causal trees, and prints the critical-path attribution
+// report instead of running any experiment — the same analysis
+// `cmd/tracegrid` performs.
 //
 // The chaos study doubles as a leak check: benchgrid exits non-zero if
 // any row leaves a non-terminal job on a machine after quiescence or
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"cogrid/internal/experiments"
+	"cogrid/internal/trace"
 )
 
 func main() {
@@ -36,7 +41,16 @@ func main() {
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
 	smoke := flag.Bool("smoke", false, "shrink the broker study to a tiny smoke-test configuration")
+	analyze := flag.String("analyze", "", "read a JSONL trace and print the causal critical-path report instead of running experiments")
 	flag.Parse()
+
+	if *analyze != "" {
+		if err := analyzeTrace(*analyze); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgrid:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *jsonOut {
 		if err := emitJSON(os.Stdout, *fig, *app, *seed, *trials, *smoke); err != nil {
@@ -171,6 +185,22 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// analyzeTrace rebuilds causal request trees from a JSONL trace and prints
+// the deterministic critical-path attribution report.
+func analyzeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("read %s: %v", path, err)
+	}
+	fmt.Print(trace.Analyze(events).Report())
+	return nil
 }
 
 func section(title string) {

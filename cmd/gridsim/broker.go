@@ -10,6 +10,7 @@ import (
 	"cogrid/internal/grid"
 	"cogrid/internal/lrm"
 	"cogrid/internal/mds"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -88,7 +89,9 @@ func runBrokerDemo(opts runOptions) error {
 			g.Sim.GoDaemon(fmt.Sprintf("driver:%s/%d", sub.tenant, i), func() {
 				defer wg.Done()
 				g.Sim.SleepUntil(sub.at)
-				c, err := broker.Dial(host, b.Contact())
+				ctx := trace.NewRequest(host.Name())
+				start := g.Sim.Now()
+				c, err := broker.DialCtx(host, b.Contact(), ctx)
 				if err != nil {
 					mu.Lock()
 					fmt.Printf("%s: dial failed: %v\n", sub.tenant, err)
@@ -103,6 +106,7 @@ func runBrokerDemo(opts runOptions) error {
 					Executable:   "app",
 					Spares:       1,
 				}, 0, 20)
+				g.Tracer.SpanAtCtx(ctx, "client", "request", host.Name(), sub.tenant, "", start, g.Sim.Now())
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -121,9 +125,23 @@ func runBrokerDemo(opts runOptions) error {
 			return fmt.Errorf("write trace: %v", err)
 		}
 	}
+	if opts.JSONLW != nil {
+		if err := g.Tracer.WriteJSONL(opts.JSONLW); err != nil {
+			return fmt.Errorf("write jsonl trace: %v", err)
+		}
+	}
 	if opts.CountersW != nil {
 		fmt.Fprintln(opts.CountersW, "\ncounters:")
 		fmt.Fprint(opts.CountersW, g.Counters.String())
+	}
+	if opts.GaugesW != nil {
+		step := opts.GaugeStep
+		if step <= 0 {
+			step = 5 * time.Second
+		}
+		if err := g.Gauges.Series(step, g.Sim.Now()).WriteCSV(opts.GaugesW); err != nil {
+			return fmt.Errorf("write gauges: %v", err)
+		}
 	}
 	return simErr
 }

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	gridsim [-f scenario.json | scenario.json] [-demo] [-broker] [-chaos]
-//	        [-trace out.json] [-counters]
+//	        [-trace out.json] [-trace-jsonl out.jsonl] [-counters]
+//	        [-gauges out.csv] [-gauge-step 5s]
 //
 // The scenario file may be given either with -f or as the positional
 // argument. -trace writes a Chrome trace_event file of the whole run
-// (open it in chrome://tracing or https://ui.perfetto.dev); -counters
-// prints the event-counter registry after the run. -broker runs the
+// (open it in chrome://tracing or https://ui.perfetto.dev); -trace-jsonl
+// writes the raw event stream as JSON Lines — the input format of the
+// `tracegrid -analyze` causal critical-path analyzer; -counters prints
+// the event-counter registry after the run; -gauges writes the
+// virtual-time gauge series (queue depth, outstanding 2PC, busy
+// processors, unreaped orphans) as CSV sampled every -gauge-step. -broker runs the
 // built-in multi-tenant broker scenario instead of a co-allocation
 // scenario file: three tenants (one flooding) submit through a bounded
 // admission queue, showing backpressure and round-robin fairness. -chaos
@@ -109,7 +114,10 @@ func main() {
 	chaosDemo := flag.Bool("chaos", false, "run the built-in broker chaos scenario (faults injected mid-run)")
 	timeline := flag.Bool("timeline", false, "render the submission timeline and event history")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event file of the run")
+	jsonlPath := flag.String("trace-jsonl", "", "write the raw trace events as JSON Lines (input for tracegrid -analyze)")
 	counters := flag.Bool("counters", false, "print the event-counter registry after the run")
+	gaugesPath := flag.String("gauges", "", "write the virtual-time gauge series (queue depth, outstanding 2PC, busy processors, orphans) as CSV")
+	gaugeStep := flag.Duration("gauge-step", 5*time.Second, "sampling cadence for -gauges")
 	flag.Parse()
 
 	scenarioPath := *file
@@ -125,8 +133,25 @@ func main() {
 		defer f.Close()
 		opts.TraceW = f
 	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.JSONLW = f
+	}
 	if *counters {
 		opts.CountersW = os.Stdout
+	}
+	if *gaugesPath != "" {
+		f, err := os.Create(*gaugesPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.GaugesW = f
+		opts.GaugeStep = *gaugeStep
 	}
 
 	if *brokerDemo {
@@ -198,8 +223,15 @@ func demoScenario() Scenario {
 type runOptions struct {
 	// TraceW, when set, receives a Chrome trace_event JSON file of the run.
 	TraceW io.Writer
+	// JSONLW, when set, receives the raw event stream as JSON Lines — the
+	// format tracegrid -analyze consumes.
+	JSONLW io.Writer
 	// CountersW, when set, receives the counter-registry table after the run.
 	CountersW io.Writer
+	// GaugesW, when set, receives the virtual-time gauge series as CSV,
+	// sampled every GaugeStep.
+	GaugesW   io.Writer
+	GaugeStep time.Duration
 }
 
 func run(sc Scenario) error { return runWith(sc, runOptions{}) }
@@ -208,7 +240,7 @@ func runWith(sc Scenario, opts runOptions) error {
 	g := grid.New(grid.Options{
 		Seed:           sc.Seed,
 		RecordTimeline: sc.Timeline,
-		Trace:          opts.TraceW != nil || opts.CountersW != nil,
+		Trace:          opts.TraceW != nil || opts.JSONLW != nil || opts.CountersW != nil || opts.GaugesW != nil,
 	})
 	for _, m := range sc.Machines {
 		mode := lrm.Fork
@@ -335,9 +367,23 @@ func runWith(sc Scenario, opts runOptions) error {
 			return fmt.Errorf("write trace: %v", err)
 		}
 	}
+	if opts.JSONLW != nil {
+		if err := g.Tracer.WriteJSONL(opts.JSONLW); err != nil {
+			return fmt.Errorf("write jsonl trace: %v", err)
+		}
+	}
 	if opts.CountersW != nil {
 		fmt.Fprintln(opts.CountersW, "\ncounters:")
 		fmt.Fprint(opts.CountersW, g.Counters.String())
+	}
+	if opts.GaugesW != nil {
+		step := opts.GaugeStep
+		if step <= 0 {
+			step = 5 * time.Second
+		}
+		if err := g.Gauges.Series(step, g.Sim.Now()).WriteCSV(opts.GaugesW); err != nil {
+			return fmt.Errorf("write gauges: %v", err)
+		}
 	}
 	if simErr != nil {
 		return simErr

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"time"
 
 	"cogrid/internal/core"
@@ -193,7 +194,7 @@ func instrument(p *lrm.Proc) error {
 		}
 	}
 	tr.Span("app", "stream", p.Host().Name(), "instrument", "", streamStart,
-		trace.Arg{Key: "frames", Val: trace.Itoa(frames)})
+		trace.Arg{Key: "frames", Val: strconv.Itoa(frames)})
 	for i := range conns {
 		if err := send(conns[i], msg{Type: "frame", Seq: -1}); err != nil { // end of run
 			return err
@@ -225,7 +226,7 @@ func instrument(p *lrm.Proc) error {
 		}
 	}
 	tr.Span("app", "collect", p.Host().Name(), "instrument", "", collectStart,
-		trace.Arg{Key: "frames", Val: trace.Itoa(done)})
+		trace.Arg{Key: "frames", Val: strconv.Itoa(done)})
 	fmt.Printf("[instrument] run complete: %d frames reconstructed\n", done)
 	return nil
 }
@@ -260,7 +261,7 @@ func recon(p *lrm.Proc) error {
 			return err
 		}
 		net.Tracer().Span("app", "reconstruct", p.Host().Name(), "recon", "", reconStart,
-			trace.Arg{Key: "seq", Val: trace.Itoa(m.Seq)})
+			trace.Arg{Key: "seq", Val: strconv.Itoa(m.Seq)})
 		net.Counters().Add(trace.Key("app", "frames", "recon", p.Host().Name()), 1)
 		back, err := rt.DialRank(0)
 		if err != nil {

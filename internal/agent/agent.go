@@ -21,6 +21,7 @@ import (
 	"cogrid/internal/core"
 	"cogrid/internal/mds"
 	"cogrid/internal/predict"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -75,6 +76,10 @@ type SubstituteOptions struct {
 	// watchdog) to a job they otherwise only see after the strategy
 	// returns.
 	OnJob func(*core.Job)
+	// Ctx is the causal span context the allocation runs under; the
+	// submitted job and all its 2PC legs parent beneath it. Zero roots a
+	// fresh request tree at the job id.
+	Ctx trace.Ctx
 }
 
 // WithSubstitution submits the request and services interactive-failure
@@ -83,7 +88,7 @@ type SubstituteOptions struct {
 // single-threaded: it alternates between servicing the event stream and
 // attempting to commit.
 func WithSubstitution(ctrl *core.Controller, req core.Request, opts SubstituteOptions) (Result, error) {
-	job, err := ctrl.Submit(req)
+	job, err := ctrl.SubmitCtx(req, opts.Ctx)
 	if err != nil {
 		return Result{}, err
 	}

@@ -37,6 +37,7 @@ import (
 	"cogrid/internal/core"
 	"cogrid/internal/gram"
 	"cogrid/internal/mds"
+	"cogrid/internal/metrics"
 	"cogrid/internal/rpc"
 	"cogrid/internal/trace"
 	"cogrid/internal/transport"
@@ -184,6 +185,7 @@ func (r Reply) OK() bool { return r.Accepted && r.Error == "" }
 type ticket struct {
 	id         int
 	req        Request
+	ctx        trace.Ctx // causal span context: adopted from the client, else rooted at corr
 	enqueuedAt time.Duration
 	done       *vtime.Event
 	reply      Reply
@@ -299,6 +301,7 @@ func (b *Broker) OrphansPending() int {
 
 func (b *Broker) tracer() *trace.Tracer     { return b.host.Network().Tracer() }
 func (b *Broker) counters() *trace.Counters { return b.host.Network().Counters() }
+func (b *Broker) gauges() *metrics.GaugeSet { return b.host.Network().Gauges() }
 
 // count increments broker.object.verb@<broker-host>.
 func (b *Broker) count(object, verb string, delta int64) {
@@ -312,7 +315,7 @@ func (b *Broker) handleCall(sc *rpc.ServerConn, method string, body json.RawMess
 		if err := rpc.Decode(body, &req); err != nil {
 			return nil, err
 		}
-		return b.submit(req)
+		return b.submit(req, sc.Ctx)
 	case "stats":
 		return b.stats(), nil
 	}
@@ -346,8 +349,11 @@ func (b *Broker) stats() Stats {
 // submit is the blocking server side of one request: admission control,
 // then wait for the worker-driven outcome. It runs in the per-connection
 // RPC loop, so each connection has at most one request in flight — the
-// many-clients concurrency lives in the many connections.
-func (b *Broker) submit(req Request) (Reply, error) {
+// many-clients concurrency lives in the many connections. ctx is the
+// client's propagated span context; when absent a fresh request tree is
+// rooted at the ticket's correlation id, so every admitted request has a
+// causal tree either way.
+func (b *Broker) submit(req Request, ctx trace.Ctx) (Reply, error) {
 	if req.Sites <= 0 || req.ProcsPerSite <= 0 {
 		return Reply{}, fmt.Errorf("broker: need sites > 0 and procs_per_site > 0")
 	}
@@ -367,7 +373,7 @@ func (b *Broker) submit(req Request) (Reply, error) {
 		b.mu.Unlock()
 		b.count("queue", "reject", 1)
 		b.counters().Add(trace.Key("broker", "tenant", "reject", req.Tenant), 1)
-		b.tracer().Instant("broker", "reject", b.host.Name(), req.Tenant, "",
+		b.tracer().InstantCtx(ctx, "broker", "reject", b.host.Name(), req.Tenant, "",
 			trace.Arg{Key: "depth", Val: strconv.Itoa(depth)},
 			trace.Arg{Key: "retry_after", Val: b.opts.RetryAfter.String()})
 		return Reply{Accepted: false, RetryAfter: b.opts.RetryAfter}, nil
@@ -376,8 +382,12 @@ func (b *Broker) submit(req Request) (Reply, error) {
 	t := &ticket{
 		id:         b.nextID,
 		req:        req,
+		ctx:        ctx,
 		enqueuedAt: b.sim.Now(),
 		done:       vtime.NewEvent(b.sim, fmt.Sprintf("broker-ticket:%d", b.nextID)),
+	}
+	if !t.ctx.Valid() {
+		t.ctx = trace.NewRequest(b.corr(t))
 	}
 	if _, known := b.queues[req.Tenant]; !known {
 		b.ring = append(b.ring, req.Tenant)
@@ -388,7 +398,8 @@ func (b *Broker) submit(req Request) (Reply, error) {
 	b.mu.Unlock()
 
 	b.count("queue", "enqueue", 1)
-	b.tracer().Instant("broker", "enqueue", b.host.Name(), req.Tenant, b.corr(t),
+	b.gauges().G("broker.queue_depth@" + b.host.Name()).Add(1)
+	b.tracer().InstantCtx(t.ctx, "broker", "enqueue", b.host.Name(), req.Tenant, b.corr(t),
 		trace.Arg{Key: "depth", Val: strconv.Itoa(depth)})
 	b.wake.TrySend(struct{}{})
 
@@ -435,6 +446,7 @@ func (b *Broker) pop() *ticket {
 		b.queues[tenant] = q[1:]
 		b.queued--
 		b.ringPos = (b.ringPos + i + 1) % n
+		b.gauges().G("broker.queue_depth@" + b.host.Name()).Add(-1)
 		return t
 	}
 	return nil
@@ -463,7 +475,7 @@ func (b *Broker) serve(t *ticket) {
 	req := t.req
 	dequeuedAt := b.sim.Now()
 	b.count("queue", "dequeue", 1)
-	b.tracer().SpanAt("broker", "queue-wait", b.host.Name(), req.Tenant, b.corr(t),
+	b.tracer().SpanAtCtx(t.ctx.Child("queue-wait"), "broker", "queue-wait", b.host.Name(), req.Tenant, b.corr(t),
 		t.enqueuedAt, dequeuedAt)
 
 	var reply Reply
@@ -505,7 +517,7 @@ func (b *Broker) serve(t *ticket) {
 			abandoned = true
 			break
 		}
-		b.tracer().Instant("broker", "backoff", b.host.Name(), req.Tenant, b.corr(t),
+		b.tracer().InstantCtx(t.ctx, "broker", "backoff", b.host.Name(), req.Tenant, b.corr(t),
 			trace.Arg{Key: "class", Val: string(class)},
 			trace.Arg{Key: "backoff", Val: backoff.String()})
 		b.sim.Sleep(backoff)
@@ -517,7 +529,7 @@ func (b *Broker) serve(t *ticket) {
 	}
 	if abandoned {
 		reply.Error = fmt.Sprintf("broker: request abandoned at deadline after %d attempts", reply.Attempts)
-		b.tracer().Instant("broker", "abandon", b.host.Name(), req.Tenant, b.corr(t),
+		b.tracer().InstantCtx(t.ctx, "broker", "abandon", b.host.Name(), req.Tenant, b.corr(t),
 			trace.Arg{Key: "attempts", Val: strconv.Itoa(reply.Attempts)})
 	}
 
@@ -531,7 +543,7 @@ func (b *Broker) serve(t *ticket) {
 	}
 	b.count("request", outcome, 1)
 	b.counters().Add(trace.Key("broker", "tenant", outcome, req.Tenant), 1)
-	b.tracer().SpanAt("broker", "request", b.host.Name(), req.Tenant, b.corr(t),
+	b.tracer().SpanAtCtx(t.ctx, "broker", "request", b.host.Name(), req.Tenant, b.corr(t),
 		t.enqueuedAt, b.sim.Now(),
 		trace.Arg{Key: "outcome", Val: outcome},
 		trace.Arg{Key: "attempts", Val: strconv.Itoa(reply.Attempts)})
@@ -569,8 +581,9 @@ func (b *Broker) attempt(t *ticket, attempt int, deadline time.Duration) (agent.
 	// determinism must not depend on concurrent draw order from the
 	// kernel's shared RNG.
 	candidates := agent.SelectByForecast(records, req.ProcsPerSite, want, 0, nil)
+	attemptCtx := t.ctx.Child("attempt" + strconv.Itoa(attempt))
 	finish := func(outcome string) {
-		b.tracer().Span("broker", "attempt", b.host.Name(), req.Tenant, b.corr(t), start,
+		b.tracer().SpanCtx(attemptCtx, "broker", "attempt", b.host.Name(), req.Tenant, b.corr(t), start,
 			trace.Arg{Key: "n", Val: strconv.Itoa(attempt)},
 			trace.Arg{Key: "outcome", Val: outcome})
 	}
@@ -614,13 +627,14 @@ func (b *Broker) attempt(t *ticket, attempt int, deadline time.Duration) (agent.
 	res, err := agent.WithSubstitution(b.ctrl, creq, agent.SubstituteOptions{
 		Pool:          pool,
 		CommitTimeout: budget,
+		Ctx:           attemptCtx,
 		OnJob: func(job *core.Job) {
 			watchdog = b.sim.AfterFunc(budget+watchdogGrace, func() {
 				if attemptSettled(job) {
 					return
 				}
 				b.count("watchdog", "abort", 1)
-				b.tracer().Instant("broker", "watchdog-abort", b.host.Name(), req.Tenant, b.corr(t),
+				b.tracer().InstantCtx(attemptCtx, "broker", "watchdog-abort", b.host.Name(), req.Tenant, b.corr(t),
 					trace.Arg{Key: "budget", Val: (budget + watchdogGrace).String()})
 				job.Abort("broker: attempt watchdog fired after " + (budget + watchdogGrace).String())
 			})
@@ -658,13 +672,19 @@ func attemptSettled(job *core.Job) bool {
 func (b *Broker) addOrphan(o core.Orphan) {
 	key := o.Job + "/" + o.Subjob
 	b.mu.Lock()
+	_, known := b.orphans[key]
 	b.orphans[key] = o
 	b.mu.Unlock()
+	if !known {
+		// Gauge tracks distinct unreaped orphans; a re-recorded key (the
+		// same subjob orphaned again before its reap) must not double-count.
+		b.gauges().G("broker.orphans@" + b.host.Name()).Add(1)
+	}
 	b.count("orphan", "record", 1)
 	// The event args must not depend on the orphan set's size: concurrent
 	// cancel daemons record at the same instant in nondeterministic order,
 	// and a running count would leak that order into the trace.
-	b.tracer().Instant("broker", "orphan", b.host.Name(), key, "",
+	b.tracer().InstantCtx(o.Ctx, "broker", "orphan", b.host.Name(), key, "",
 		trace.Arg{Key: "rm", Val: o.RM.String()},
 		trace.Arg{Key: "reason", Val: o.Reason})
 }
@@ -704,6 +724,7 @@ func (b *Broker) reapPending() {
 		b.mu.Lock()
 		delete(b.orphans, k)
 		b.mu.Unlock()
+		b.gauges().G("broker.orphans@" + b.host.Name()).Add(-1)
 		b.count("orphan", "reaped", 1)
 	}
 }
@@ -715,10 +736,14 @@ func (b *Broker) reapPending() {
 // always safe.
 func (b *Broker) reapOne(key string, o core.Orphan) bool {
 	start := b.sim.Now()
+	// Reap traffic parents under the leaked subjob's own span context, so
+	// an orphaned request's tree shows its cleanup too.
+	ctx := o.Ctx.Child("reap")
 	client, err := gram.Dial(b.host, o.RM, gram.ClientConfig{
 		Credential: b.ctrlCfg.Credential,
 		Registry:   b.ctrlCfg.Registry,
 		AuthCost:   b.ctrlCfg.AuthCost,
+		Ctx:        ctx,
 	})
 	if err != nil {
 		b.count("reap", "retry", 1)
@@ -729,7 +754,7 @@ func (b *Broker) reapOne(key string, o core.Orphan) bool {
 		b.count("reap", "retry", 1)
 		return false
 	}
-	b.tracer().SpanAt("broker", "reap", b.host.Name(), key, "", start, b.sim.Now(),
+	b.tracer().SpanAtCtx(ctx, "broker", "reap", b.host.Name(), key, "", start, b.sim.Now(),
 		trace.Arg{Key: "rm", Val: o.RM.String()})
 	return true
 }

@@ -24,6 +24,10 @@ type cache struct {
 	maxAge   time.Duration
 	interval time.Duration
 	stop     *vtime.Event
+	// ctx roots the cache's own causal tree: refreshes are broker-side
+	// maintenance, not part of any one tenant request. All refresh spans
+	// merge under a single child node.
+	ctx trace.Ctx
 
 	mu        sync.Mutex
 	records   []mds.Record
@@ -40,6 +44,7 @@ func newCache(host *transport.Host, dir transport.Addr, maxAge, interval, offset
 		maxAge:   maxAge,
 		interval: interval,
 		stop:     vtime.NewEvent(sim, "broker-cache-stop:"+host.Name()),
+		ctx:      trace.NewRequest("cache@" + host.Name()).Child("refresh"),
 	}
 	sim.GoDaemon("broker-cache:"+host.Name(), func() {
 		// The offset keeps periodic refreshes off the instants where
@@ -65,7 +70,7 @@ func (c *cache) stopRefresh() { c.stop.Set() }
 // surfaces the gap.
 func (c *cache) refresh() {
 	start := c.sim.Now()
-	client, err := mds.Dial(c.host, c.dir)
+	client, err := mds.DialCtx(c.host, c.dir, c.ctx)
 	if err != nil {
 		c.count("refresh-error", 1)
 		return
@@ -82,7 +87,7 @@ func (c *cache) refresh() {
 	c.have = true
 	c.mu.Unlock()
 	c.count("refresh", 1)
-	c.host.Network().Tracer().Span("broker", "cache-refresh", c.host.Name(), "cache", "", start,
+	c.host.Network().Tracer().SpanCtx(c.ctx, "broker", "cache-refresh", c.host.Name(), "cache", "", start,
 		trace.Arg{Key: "records", Val: strconv.Itoa(len(records))})
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -18,7 +19,15 @@ type Client struct {
 // Dial connects to a broker service. On any construction failure the
 // dialed connection is closed before returning.
 func Dial(from *transport.Host, addr transport.Addr) (c *Client, err error) {
-	conn, err := from.Dial(addr)
+	return DialCtx(from, addr, trace.Ctx{})
+}
+
+// DialCtx is Dial under a causal span context. Everything the broker does
+// on this client's behalf — queue wait, attempts, DUROC 2PC legs, GRAM
+// submissions — parents beneath ctx, and resubmissions after admission
+// rejections stay in the same request tree.
+func DialCtx(from *transport.Host, addr transport.Addr, ctx trace.Ctx) (c *Client, err error) {
+	conn, err := from.DialCtx(addr, ctx)
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"cogrid/internal/gram"
 	"cogrid/internal/gsi"
+	"cogrid/internal/metrics"
 	"cogrid/internal/rpc"
 	"cogrid/internal/trace"
 	"cogrid/internal/transport"
@@ -23,6 +24,10 @@ const (
 	EnvContact = "DUROC_CONTACT"
 	EnvJob     = "DUROC_JOB"
 	EnvSubjob  = "DUROC_SUBJOB"
+	// EnvTrace carries the subjob's causal span context (trace.Ctx.String)
+	// so application-side barrier check-ins join the request tree that
+	// submitted them.
+	EnvTrace = "DUROC_TRACE"
 )
 
 // ControllerConfig configures a co-allocation controller.
@@ -70,6 +75,9 @@ type Orphan struct {
 	Reason string
 	// At is the virtual time the orphan was recorded.
 	At time.Duration
+	// Ctx is the subjob's causal span context: reap attempts parent their
+	// events under the request that leaked the allocation.
+	Ctx trace.Ctx
 }
 
 // Controller is the co-allocation agent's side of DUROC: it owns the
@@ -142,14 +150,26 @@ func (c *Controller) Sim() *vtime.Sim { return c.sim }
 // submission, monitoring, and the barrier run in the background. The agent
 // drives the job via its Events stream, edit operations, and Commit.
 func (c *Controller) Submit(req Request) (*Job, error) {
+	return c.SubmitCtx(req, trace.Ctx{})
+}
+
+// SubmitCtx is Submit under a causal span context: every subjob's 2PC legs
+// (submit, startup-wait, barrier, commit) land in that request's tree. A
+// zero context roots a fresh tree at the job id, so directly submitted
+// jobs still trace causally.
+func (c *Controller) SubmitCtx(req Request, ctx trace.Ctx) (*Job, error) {
 	c.mu.Lock()
 	c.nextJob++
 	id := fmt.Sprintf("%s/coalloc%d", c.host.Name(), c.nextJob)
 	c.mu.Unlock()
+	if !ctx.Valid() {
+		ctx = trace.NewRequest(id)
+	}
 
 	j := &Job{
 		c:       c,
 		id:      id,
+		ctx:     ctx,
 		byLabel: make(map[string]*subjob),
 		queue:   vtime.NewChan[*subjob](c.sim, "duroc-queue:"+id, 4096),
 		events:  vtime.NewChan[Event](c.sim, "duroc-events:"+id, 4096),
@@ -172,6 +192,9 @@ func (c *Controller) Submit(req Request) (*Job, error) {
 	c.mu.Lock()
 	c.jobs[id] = j
 	c.mu.Unlock()
+	// Outstanding 2PC transactions gauge: one per live co-allocation,
+	// decremented when the job finishes (committed-and-done or aborted).
+	c.gauges().G("duroc.outstanding@" + c.host.Name()).Add(1)
 	c.sim.GoDaemon("duroc-engine:"+id, j.engine)
 	return j, nil
 }
@@ -219,7 +242,7 @@ func (c *Controller) HandleCall(sc *rpc.ServerConn, method string, body json.Raw
 	if j == nil {
 		return checkinReply{Proceed: false, Reason: "unknown co-allocation " + args.Job}, nil
 	}
-	return j.checkin(args), nil
+	return j.checkin(args, sc.Ctx), nil
 }
 
 // HandleNotify implements rpc.Handler; the barrier service has no
@@ -230,7 +253,7 @@ func (c *Controller) HandleNotify(sc *rpc.ServerConn, method string, body json.R
 // the potential processor leak visible, and the OnOrphan hook hands the
 // contact to whoever owns reaping.
 func (c *Controller) orphaned(o Orphan) {
-	c.tracer().Instant("duroc", "orphan", c.host.Name(), o.Job+"/"+o.Subjob, "",
+	c.tracer().InstantCtx(o.Ctx, "duroc", "orphan", c.host.Name(), o.Job+"/"+o.Subjob, "",
 		trace.Arg{Key: "rm", Val: o.RM.String()},
 		trace.Arg{Key: "reason", Val: o.Reason})
 	c.counters().Add(trace.Key("duroc", "orphan", "record", c.host.Name()), 1)
@@ -241,12 +264,12 @@ func (c *Controller) orphaned(o Orphan) {
 
 // record emits a timeline span if a recorder is configured, and mirrors the
 // phase into the trace stream so the Figure 5 timeline is derivable from a
-// trace alone.
-func (c *Controller) record(actor, phase string, start, end time.Duration) {
+// trace alone. The span lands at ctx's child named for the phase.
+func (c *Controller) record(ctx trace.Ctx, actor, phase string, start, end time.Duration) {
 	if c.cfg.Timeline != nil {
 		c.cfg.Timeline.Add(actor, phase, start, end)
 	}
-	c.host.Network().Tracer().SpanAt("duroc", phase, c.host.Name(), actor, "", start, end)
+	c.host.Network().Tracer().SpanAtCtx(ctx.Child(trace.Seg(phase)), "duroc", phase, c.host.Name(), actor, "", start, end)
 }
 
 // tracer returns the network's tracer (nil-safe no-op when tracing is off).
@@ -254,3 +277,6 @@ func (c *Controller) tracer() *trace.Tracer { return c.host.Network().Tracer() }
 
 // counters returns the network's counter registry (nil-safe).
 func (c *Controller) counters() *trace.Counters { return c.host.Network().Counters() }
+
+// gauges returns the network's gauge registry (nil-safe).
+func (c *Controller) gauges() *metrics.GaugeSet { return c.host.Network().Gauges() }

@@ -21,6 +21,8 @@ type subjob struct {
 	client  *gram.Client
 	contact string
 	reason  string
+	// ctx is the subjob's causal span context, a child of the job's.
+	ctx trace.Ctx
 
 	checkins map[int]*procCheckin
 
@@ -42,6 +44,9 @@ type procCheckin struct {
 type Job struct {
 	c  *Controller
 	id string
+	// ctx is the causal span context of the request that submitted this
+	// co-allocation (a fresh root when none was supplied).
+	ctx trace.Ctx
 
 	mu       sync.Mutex
 	subjobs  []*subjob
@@ -127,7 +132,11 @@ func (j *Job) emit(kind EventKind, sj *subjob, reason string) {
 	if reason != "" {
 		args = append(args, trace.Arg{Key: "reason", Val: reason})
 	}
-	j.c.tracer().Instant("duroc", kind.String(), j.c.host.Name(), j.id, "", args...)
+	ctx := j.ctx
+	if sj != nil {
+		ctx = sj.ctx
+	}
+	j.c.tracer().InstantCtx(ctx, "duroc", kind.String(), j.c.host.Name(), j.id, "", args...)
 	j.c.counters().Add(trace.Key("duroc", "event", kind.String(), j.c.host.Name()), 1)
 	j.events.TrySend(ev)
 }
@@ -167,6 +176,7 @@ func (j *Job) addLocked(spec SubjobSpec) (*subjob, error) {
 	sj := &subjob{
 		spec:     spec,
 		status:   SJQueued,
+		ctx:      j.ctx.Child("sj:" + trace.Seg(spec.Label)),
 		checkins: make(map[int]*procCheckin),
 		queuedAt: j.c.sim.Now(),
 	}
@@ -268,10 +278,10 @@ func (j *Job) discardLocked(sj *subjob, status SubjobStatus, reason string) {
 	client, contact := sj.client, sj.contact
 	sj.client = nil
 	if client != nil {
-		spec := sj.spec
+		spec, ctx := sj.spec, sj.ctx
 		j.c.sim.GoDaemon("duroc-cancel:"+j.id+"/"+spec.Label, func() {
 			if contact != "" {
-				j.cancelRemote(client, spec, contact)
+				j.cancelRemote(client, spec, contact, ctx)
 			}
 			client.Close()
 		})
@@ -283,7 +293,7 @@ func (j *Job) discardLocked(sj *subjob, status SubjobStatus, reason string) {
 // hung, or partitioned away mid-2PC — is recorded as an orphan: the
 // remote job may still hold processors, and the contact must be retried
 // by whoever owns reaping (ControllerConfig.OnOrphan).
-func (j *Job) cancelRemote(client *gram.Client, spec SubjobSpec, contact string) {
+func (j *Job) cancelRemote(client *gram.Client, spec SubjobSpec, contact string, ctx trace.Ctx) {
 	err := client.CancelTimeout(contact, j.c.cfg.CancelTimeout)
 	if err == nil {
 		return
@@ -296,6 +306,7 @@ func (j *Job) cancelRemote(client *gram.Client, spec SubjobSpec, contact string)
 		JobContact: contact,
 		Reason:     err.Error(),
 		At:         j.c.sim.Now(),
+		Ctx:        ctx,
 	})
 }
 
@@ -341,13 +352,14 @@ func (j *Job) submitSubjob(sj *subjob) {
 		Credential: c.cfg.Credential,
 		Registry:   c.cfg.Registry,
 		AuthCost:   c.cfg.AuthCost,
+		Ctx:        sj.ctx,
 	})
 	if err != nil {
 		j.subjobFailed(sj, fmt.Sprintf("submit: %v", err))
 		return
 	}
 	contact, err := client.Submit(j.subjobRSL(sj))
-	c.record(sj.spec.Label, "submit", start, c.sim.Now())
+	c.record(sj.ctx, sj.spec.Label, "submit", start, c.sim.Now())
 	if err != nil {
 		client.Close()
 		j.subjobFailed(sj, fmt.Sprintf("submit: %v", err))
@@ -360,7 +372,7 @@ func (j *Job) submitSubjob(sj *subjob) {
 		// subject to the same lost-contact risk as any discard, so an
 		// unconfirmed cancel is recorded as an orphan here too.
 		j.mu.Unlock()
-		j.cancelRemote(client, sj.spec, contact)
+		j.cancelRemote(client, sj.spec, contact, sj.ctx)
 		client.Close()
 		return
 	}
@@ -406,13 +418,19 @@ func (j *Job) subjobRSL(sj *subjob) string {
 			Value: rsl.Literal(sj.spec.ReservationID),
 		})
 	}
+	env := rsl.Seq{
+		rsl.Literal(EnvContact), rsl.Literal(j.c.Contact().String()),
+		rsl.Literal(EnvJob), rsl.Literal(j.id),
+		rsl.Literal(EnvSubjob), rsl.Literal(sj.spec.Label),
+	}
+	if sj.ctx.Valid() {
+		// Thread the causal span context through the environment so the
+		// application runtime's barrier check-in joins this request's tree.
+		env = append(env, rsl.Literal(EnvTrace), rsl.Literal(sj.ctx.String()))
+	}
 	node.Children = append(node.Children, &rsl.Relation{
 		Attribute: "environment", Op: rsl.OpEq,
-		Value: rsl.Seq{
-			rsl.Literal(EnvContact), rsl.Literal(j.c.Contact().String()),
-			rsl.Literal(EnvJob), rsl.Literal(j.id),
-			rsl.Literal(EnvSubjob), rsl.Literal(sj.spec.Label),
-		},
+		Value: env,
 	})
 	return node.String()
 }
@@ -557,6 +575,7 @@ func (j *Job) finish() {
 	}
 	j.mu.Unlock()
 	j.events.Close()
+	j.c.gauges().G("duroc.outstanding@" + j.c.host.Name()).Add(-1)
 	j.done.Set()
 }
 
@@ -612,8 +631,9 @@ func (j *Job) signalAll(op func(*gram.Client, string) error) error {
 
 // checkin handles one process's arrival at the co-allocation barrier. It
 // blocks until the commit decision (or returns immediately for late
-// joiners and failures).
-func (j *Job) checkin(args checkinArgs) checkinReply {
+// joiners and failures). ctx is the caller's propagated span context (zero
+// when the process attached without one); barrier instants land under it.
+func (j *Job) checkin(args checkinArgs, ctx trace.Ctx) checkinReply {
 	j.mu.Lock()
 	sj, ok := j.byLabel[args.Subjob]
 	if !ok {
@@ -649,14 +669,17 @@ func (j *Job) checkin(args checkinArgs) checkinReply {
 		reply: vtime.NewChan[checkinReply](j.c.sim, "duroc-release:"+j.id+"/"+args.Subjob+"/"+strconv.Itoa(args.Rank), 1),
 	}
 	sj.checkins[args.Rank] = ci
-	j.c.tracer().Instant("duroc", "barrier-enter", j.c.host.Name(), j.id+"/"+args.Subjob, "",
+	if !ctx.Valid() {
+		ctx = sj.ctx
+	}
+	j.c.tracer().InstantCtx(ctx, "duroc", "barrier-enter", j.c.host.Name(), j.id+"/"+args.Subjob, "",
 		trace.Arg{Key: "rank", Val: strconv.Itoa(args.Rank)})
 	j.c.counters().Add(trace.Key("duroc", "barrier", "enter", j.c.host.Name()), 1)
 	full := len(sj.checkins) == sj.spec.Count
 	if full && (sj.status == SJActive || sj.status == SJSubmitted) {
 		sj.status = SJCheckedIn
 		sj.checkedInAt = j.c.sim.Now()
-		j.c.record(sj.spec.Label, "startup-wait", sj.submittedAt, sj.checkedInAt)
+		j.c.record(sj.ctx, sj.spec.Label, "startup-wait", sj.submittedAt, sj.checkedInAt)
 	}
 	j.mu.Unlock()
 	if full {
@@ -726,7 +749,7 @@ func (j *Job) Commit(timeout time.Duration) (Config, error) {
 	deadline := j.c.sim.Now() + timeout
 	commitStart := j.c.sim.Now()
 	finish := func(outcome string) {
-		j.c.tracer().Span("duroc", "commit", j.c.host.Name(), j.id, "", commitStart,
+		j.c.tracer().SpanCtx(j.ctx.Child("commit"), "duroc", "commit", j.c.host.Name(), j.id, "", commitStart,
 			trace.Arg{Key: "outcome", Val: outcome})
 		j.c.counters().Add(trace.Key("duroc", "commit", outcome, j.c.host.Name()), 1)
 	}
@@ -807,7 +830,7 @@ func (j *Job) releaseLocked() Config {
 	j.config = cfg
 	j.released = true
 	j.releaseAt = now
-	j.c.tracer().Instant("duroc", "release", j.c.host.Name(), j.id, "",
+	j.c.tracer().InstantCtx(j.ctx, "duroc", "release", j.c.host.Name(), j.id, "",
 		trace.Arg{Key: "world", Val: strconv.Itoa(cfg.WorldSize)},
 		trace.Arg{Key: "subjobs", Val: strconv.Itoa(cfg.NSubjobs)})
 	j.c.counters().Add(trace.Key("duroc", "barrier", "release", j.c.host.Name()), 1)
@@ -821,7 +844,7 @@ func (j *Job) releaseLocked() Config {
 			j.waits = append(j.waits, now-ci.at)
 		}
 		sj.status = SJReleased
-		j.c.record(sj.spec.Label, "barrier", sj.checkedInAt, now)
+		j.c.record(sj.ctx, sj.spec.Label, "barrier", sj.checkedInAt, now)
 	}
 	// Optional subjobs with partial check-ins become late joiners.
 	for _, sj := range j.subjobs {

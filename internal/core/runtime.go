@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"cogrid/internal/lrm"
 	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 )
 
@@ -30,6 +32,7 @@ type Runtime struct {
 	contact  transport.Addr
 	jobID    string
 	subjob   string
+	ctx      trace.Ctx
 	listener *transport.Listener
 	config   *Config
 }
@@ -50,6 +53,14 @@ func Attach(p *lrm.Proc) (*Runtime, error) {
 		return nil, fmt.Errorf("duroc: bad contact: %w", err)
 	}
 	rt := &Runtime{proc: p, contact: addr, jobID: jobID, subjob: subjob}
+	// Rejoin the submitting request's causal tree when the controller
+	// threaded its span context through the environment; each rank gets its
+	// own child span so per-process barrier traffic is distinguishable.
+	if enc := p.Getenv(EnvTrace); enc != "" {
+		if ctx := trace.ParseCtx(enc); ctx.Valid() {
+			rt.ctx = ctx.Child("rank" + strconv.Itoa(p.Rank))
+		}
+	}
 	service := fmt.Sprintf("app.%s.%s.%d", sanitize(jobID), subjob, p.Rank)
 	l, err := p.Host().Listen(service)
 	if err != nil {
@@ -97,14 +108,14 @@ func (rt *Runtime) Barrier(ok bool, msg string, timeout time.Duration) (*Config,
 	if timeout == 0 {
 		timeout = DefaultBarrierTimeout
 	}
-	conn, err := rt.proc.Host().Dial(rt.contact)
+	conn, err := rt.proc.Host().DialCtx(rt.contact, rt.ctx)
 	if err != nil {
 		return nil, fmt.Errorf("duroc: dial barrier: %w", err)
 	}
 	client := rpc.NewClient(rt.proc.Sim(), conn)
 	defer client.Close()
 	var reply checkinReply
-	err = client.Call("checkin", checkinArgs{
+	err = client.CallCtx(rt.ctx, "checkin", checkinArgs{
 		Job:    rt.jobID,
 		Subjob: rt.subjob,
 		Rank:   rt.proc.Rank,

@@ -227,7 +227,7 @@ func BrokerLoadRun(cfg BrokerLoadConfig, ratePerMin float64, queueBound int) (Br
 			g.Sim.GoDaemon(fmt.Sprintf("client%03d", i), func() {
 				defer wg.Done()
 				g.Sim.SleepUntil(arrivals[i])
-				reply, ok := brokerSubmit(g, hosts[i], b, broker.Request{
+				reply, ok := brokerSubmit(g, hosts[i], b, hosts[i].Name(), broker.Request{
 					Tenant:       fmt.Sprintf("tenant%d", i%cfg.Tenants),
 					Sites:        cfg.Sites,
 					ProcsPerSite: cfg.ProcsPerSite,
@@ -300,7 +300,7 @@ func brokerClosedRun(cfg BrokerLoadConfig, clients, queueBound int) (BrokerLoadR
 				g.Sim.SleepUntil(start + time.Duration(i)*17*time.Millisecond)
 				for k := 0; k < perClient; k++ {
 					issued := g.Sim.Now()
-					reply, ok := brokerSubmit(g, hosts[i], b, broker.Request{
+					reply, ok := brokerSubmit(g, hosts[i], b, fmt.Sprintf("%s/r%d", hosts[i].Name(), k), broker.Request{
 						Tenant:       fmt.Sprintf("tenant%d", i),
 						Sites:        cfg.Sites,
 						ProcsPerSite: cfg.ProcsPerSite,
@@ -335,14 +335,21 @@ func brokerClosedRun(cfg BrokerLoadConfig, clients, queueBound int) (BrokerLoadR
 }
 
 // brokerSubmit performs one submission with reject-retry, reporting
-// failures as ok=false rather than aborting the run.
-func brokerSubmit(g *grid.Grid, host *transport.Host, b *broker.Broker, req broker.Request) (broker.Reply, bool) {
-	c, err := broker.Dial(host, b.Contact())
+// failures as ok=false rather than aborting the run. id names the causal
+// request tree this submission roots: every hop, RPC, broker decision, and
+// DUROC 2PC leg it causes parents beneath one root span whose window is
+// the client-observed issue-to-reply latency.
+func brokerSubmit(g *grid.Grid, host *transport.Host, b *broker.Broker, id string, req broker.Request) (broker.Reply, bool) {
+	ctx := trace.NewRequest(id)
+	sim := host.Network().Sim()
+	start := sim.Now()
+	c, err := broker.DialCtx(host, b.Contact(), ctx)
 	if err != nil {
 		return broker.Reply{}, false
 	}
 	defer c.Close()
 	reply, _, err := c.SubmitWait(req, 0, 50)
+	host.Network().Tracer().SpanAtCtx(ctx, "client", "request", host.Name(), req.Tenant, "", start, sim.Now())
 	return reply, err == nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"cogrid/internal/trace"
 )
 
 // tinyBrokerConfig keeps the study small enough for the test gate.
@@ -81,5 +83,45 @@ func TestBrokerLoadDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
 		t.Errorf("trace exports differ (%d vs %d bytes)", t1.Len(), t2.Len())
+	}
+	// The derived telemetry must be byte-identical too: the causal
+	// critical-path report and the gauge time series.
+	r1 := trace.Analyze(g1.Tracer.Events()).Report()
+	r2 := trace.Analyze(g2.Tracer.Events()).Report()
+	if r1 != r2 {
+		t.Errorf("analyzer reports differ:\n--- run1\n%s--- run2\n%s", r1, r2)
+	}
+	var s1, s2 bytes.Buffer
+	if err := g1.Gauges.Series(5*time.Second, g1.Sim.Now()).WriteCSV(&s1); err != nil {
+		t.Fatalf("gauges 1: %v", err)
+	}
+	if err := g2.Gauges.Series(5*time.Second, g2.Sim.Now()).WriteCSV(&s2); err != nil {
+		t.Fatalf("gauges 2: %v", err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Errorf("gauge series differ:\n--- run1\n%s--- run2\n%s", s1.String(), s2.String())
+	}
+}
+
+func TestBrokerLoadCausalInvariants(t *testing.T) {
+	// A B1 smoke run must satisfy the causal-tracing invariants end to
+	// end: every event attributed to a request (coverage ≥ 99%), every
+	// request tree single-rooted, and every request's critical path
+	// summing exactly to its end-to-end latency. This is the in-process
+	// version of `make trace-smoke`.
+	_, g := BrokerLoadRun(tinyBrokerConfig(), 12, 2)
+	a := trace.Analyze(g.Tracer.Events())
+	if problems := a.Check(); len(problems) > 0 {
+		for _, p := range problems {
+			t.Errorf("invariant violated: %s", p)
+		}
+	}
+	if len(a.RequestTrees()) == 0 {
+		t.Fatal("no request trees reconstructed")
+	}
+	for _, tree := range a.RequestTrees() {
+		if tree.GatingSubjob() == "" {
+			t.Errorf("request %s: no gating subjob identified", tree.Req)
+		}
 	}
 }

@@ -327,14 +327,20 @@ func ChaosRun(cfg ChaosConfig, faultRate float64) (ChaosRow, *grid.Grid) {
 	return row, g
 }
 
-// chaosSubmit is brokerSubmit with an explicit total budget.
+// chaosSubmit is brokerSubmit with an explicit total budget. The client
+// host's name roots the request's causal tree (one request per host in
+// the chaos study).
 func chaosSubmit(host *transport.Host, b *broker.Broker, req broker.Request, budget time.Duration) (broker.Reply, bool) {
-	c, err := broker.Dial(host, b.Contact())
+	ctx := trace.NewRequest(host.Name())
+	sim := host.Network().Sim()
+	start := sim.Now()
+	c, err := broker.DialCtx(host, b.Contact(), ctx)
 	if err != nil {
 		return broker.Reply{}, false
 	}
 	defer c.Close()
 	reply, _, err := c.SubmitWait(req, budget, 50)
+	host.Network().Tracer().SpanAtCtx(ctx, "client", "request", host.Name(), req.Tenant, "", start, sim.Now())
 	return reply, err == nil
 }
 

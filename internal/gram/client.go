@@ -7,6 +7,7 @@ import (
 	"cogrid/internal/gsi"
 	"cogrid/internal/lrm"
 	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -28,6 +29,9 @@ type ClientConfig struct {
 	Credential gsi.Credential
 	Registry   *gsi.Registry
 	AuthCost   gsi.CostModel // zero value replaced by gsi.DefaultCost
+	// Ctx is the causal span context the connection serves (e.g. one
+	// subjob's context). Every call on the client parents under it.
+	Ctx trace.Ctx
 }
 
 // Dial connects to a gatekeeper and performs mutual authentication. The
@@ -38,7 +42,7 @@ func Dial(from *transport.Host, contact transport.Addr, cfg ClientConfig) (*Clie
 		cfg.AuthCost = gsi.DefaultCost
 	}
 	sim := from.Network().Sim()
-	conn, err := from.Dial(contact)
+	conn, err := from.DialCtx(contact, cfg.Ctx)
 	if err != nil {
 		return nil, fmt.Errorf("gram: dial %s: %w", contact, err)
 	}

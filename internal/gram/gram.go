@@ -138,20 +138,20 @@ func (s *Server) Contact() transport.Addr {
 func (s *Server) preamble(conn *transport.Conn) (any, error) {
 	start := s.sim.Now()
 	peer, err := gsi.ServerHandshake(s.sim, conn, s.cfg.Credential, s.cfg.Registry, s.cfg.AuthCost)
-	s.record("gram", "authentication", start, s.sim.Now())
+	s.record(conn.Ctx(), "gram", "authentication", start, s.sim.Now())
 	if err != nil {
 		return nil, err
 	}
 	return peer, nil
 }
 
-func (s *Server) record(actor, phase string, start, end time.Duration) {
+func (s *Server) record(ctx trace.Ctx, actor, phase string, start, end time.Duration) {
 	if s.cfg.Timeline != nil {
 		s.cfg.Timeline.Add(actor, phase, start, end)
 	}
 	// The same phase also lands in the trace stream, so the Figure 3
 	// breakdown is derivable from a trace without a dedicated Timeline.
-	s.host.Network().Tracer().SpanAt("gram", phase, s.host.Name(), actor, "", start, end)
+	s.host.Network().Tracer().SpanAtCtx(ctx.Child(trace.Seg(phase)), "gram", phase, s.host.Name(), actor, "", start, end)
 }
 
 // HandleCall implements rpc.Handler.
@@ -291,6 +291,9 @@ func (s *Server) lookup(contact string) (*lrm.Job, error) {
 // authentication, in the per-connection loop.
 func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, error) {
 	user, _ := sc.Meta.(string)
+	// Capture the serve context now: sc.Ctx is rebound per call, but the
+	// watch daemon below outlives this one.
+	ctx := sc.Ctx
 	var args submitArgs
 	if err := rpc.Decode(body, &args); err != nil {
 		return nil, err
@@ -300,22 +303,22 @@ func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, er
 	miscStart := s.sim.Now()
 	spec, err := ParseJobRSL(args.RSL)
 	s.sim.Sleep(s.cfg.Cost.Misc)
-	s.record("gram", "misc", miscStart, s.sim.Now())
+	s.record(ctx, "gram", "misc", miscStart, s.sim.Now())
 	if err != nil {
 		return nil, err
 	}
 
 	// initgroups: resolve the authenticated user's groups via NIS.
 	igStart := s.sim.Now()
-	if _, err := nis.Initgroups(s.host, s.cfg.NISAddr, user, gsi.HandshakeTimeout); err != nil {
+	if _, err := nis.InitgroupsCtx(s.host, s.cfg.NISAddr, user, gsi.HandshakeTimeout, ctx.Child("nis")); err != nil {
 		return nil, fmt.Errorf("gram: initgroups for %s: %w", user, err)
 	}
-	s.record("gram", "initgroups", igStart, s.sim.Now())
+	s.record(ctx, "gram", "initgroups", igStart, s.sim.Now())
 
 	// Create processes through the local resource manager.
 	forkStart := s.sim.Now()
 	job, err := s.machine.Submit(spec)
-	s.record("gram", "fork", forkStart, s.sim.Now())
+	s.record(ctx, "gram", "fork", forkStart, s.sim.Now())
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +333,9 @@ func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, er
 	net := s.host.Network()
 	net.Counters().Add(trace.Key("gram", "job", "submit", s.host.Name()), 1)
 
-	// Push every state transition back to the submitter as a callback.
+	// Push every state transition back to the submitter as a callback,
+	// parented to the submit that created the job.
+	jobCtx := ctx.Child("job")
 	s.sim.GoDaemon("gram-watch:"+contact, func() {
 		for {
 			state, ok := job.Events().Recv()
@@ -338,10 +343,10 @@ func (s *Server) handleSubmit(sc *rpc.ServerConn, body json.RawMessage) (any, er
 				return
 			}
 			reason := job.Reason()
-			net.Tracer().Instant("gram", "state:"+state.String(), s.host.Name(), contact, "",
+			net.Tracer().InstantCtx(jobCtx, "gram", "state:"+state.String(), s.host.Name(), contact, "",
 				trace.Arg{Key: "reason", Val: reason})
 			net.Counters().Add(trace.Key("gram", "state", state.String(), s.host.Name()), 1)
-			sc.Notify("job-state", StateEvent{
+			sc.NotifyCtx(jobCtx, "job-state", StateEvent{
 				Contact: contact,
 				State:   state,
 				Reason:  reason,

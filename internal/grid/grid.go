@@ -55,6 +55,7 @@ type Grid struct {
 	Timeline    *metrics.Timeline
 	Tracer      *trace.Tracer
 	Counters    *trace.Counters
+	Gauges      *metrics.GaugeSet
 
 	opts     Options
 	machines map[string]*lrm.Machine
@@ -93,8 +94,10 @@ func New(opts Options) *Grid {
 	if opts.Trace {
 		g.Tracer = trace.New(sim)
 		g.Counters = trace.NewCounters()
+		g.Gauges = metrics.NewGaugeSet(sim)
 		net.SetTracer(g.Tracer)
 		net.SetCounters(g.Counters)
+		net.SetGauges(g.Gauges)
 	}
 	nisHost := net.AddHost("nis0")
 	srv, err := nis.NewServer(nisHost, opts.NISServiceTime)

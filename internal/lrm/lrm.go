@@ -448,6 +448,9 @@ func (m *Machine) launch(job *Job) {
 	job.liveProcs = job.spec.Count
 	job.startAt = m.sim.Now()
 	job.mu.Unlock()
+	// Per-machine utilization gauge: processors busy running application
+	// processes. Decremented symmetrically when finishJob releases them.
+	m.host.Network().Gauges().G("lrm.busy@" + m.host.Name()).Add(float64(job.spec.Count))
 	job.setState(StateActive, "")
 
 	if job.spec.TimeLimit > 0 {
@@ -529,6 +532,9 @@ func (m *Machine) finishJob(job *Job, state JobState, reason string) {
 		m.mu.Unlock()
 	}
 	job.setState(state, reason)
+	if release {
+		m.host.Network().Gauges().G("lrm.busy@" + m.host.Name()).Add(-float64(job.spec.Count))
+	}
 	if release && m.mode == Batch && job.startRes == nil {
 		m.mu.Lock()
 		m.freeProcs += job.spec.Count

@@ -17,6 +17,7 @@ import (
 
 	"cogrid/internal/lrm"
 	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -153,7 +154,13 @@ type Client struct {
 
 // Dial connects to a directory service.
 func Dial(from *transport.Host, dir transport.Addr) (*Client, error) {
-	conn, err := from.Dial(dir)
+	return DialCtx(from, dir, trace.Ctx{})
+}
+
+// DialCtx is Dial under a causal span context: the connection and every
+// call on it parent beneath ctx in the request tree.
+func DialCtx(from *transport.Host, dir transport.Addr, ctx trace.Ctx) (*Client, error) {
+	conn, err := from.DialCtx(dir, ctx)
 	if err != nil {
 		return nil, fmt.Errorf("mds: dial: %w", err)
 	}
@@ -213,9 +220,13 @@ func RecordFor(m *lrm.Machine, contact transport.Addr, forecastCounts ...int) Re
 func Publish(m *lrm.Machine, dir transport.Addr, contact transport.Addr, interval time.Duration, forecastCounts ...int) (stop func()) {
 	sim := m.Host().Network().Sim()
 	stopped := vtime.NewEvent(sim, "mds-publish-stop:"+m.Name())
+	// The publisher is a daemon, not part of any client request: it roots
+	// its own causal tree, with every round's traffic under one child span
+	// (rounds are sequential, so their intervals merge cleanly).
+	ctx := trace.NewRequest("mds-publish@" + m.Name()).Child("round")
 	sim.GoDaemon("mds-publish:"+m.Name(), func() {
 		for {
-			client, err := Dial(m.Host(), dir)
+			client, err := DialCtx(m.Host(), dir, ctx)
 			if err == nil {
 				client.Register(RecordFor(m, contact, forecastCounts...))
 				client.Close()

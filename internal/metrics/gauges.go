@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cogrid/internal/vtime"
+)
+
+// Gauges are virtual-time level indicators: queue depth, outstanding 2PC
+// transactions, busy processors per machine, unreaped orphans. Because
+// multiple simulated processes may mutate a gauge within one virtual
+// instant — in a real-time order that differs run to run — a gauge does not
+// store its "current value". It stores a delta log of (virtual time,
+// change) pairs; the value at sample time t is the sum of all deltas
+// stamped at or before t. Sums are order-independent within an instant, so
+// resampling the log at any fixed cadence yields byte-identical series for
+// same-seed runs.
+
+// GaugeSet is a registry of named gauges sharing one virtual clock. All
+// methods are nil-safe: a nil *GaugeSet (the default everywhere) records
+// nothing.
+type GaugeSet struct {
+	sim    *vtime.Sim
+	mu     sync.Mutex
+	gauges map[string]*Gauge
+}
+
+// NewGaugeSet creates a gauge registry stamping deltas with sim's clock.
+func NewGaugeSet(sim *vtime.Sim) *GaugeSet {
+	return &GaugeSet{sim: sim, gauges: map[string]*Gauge{}}
+}
+
+// G returns the gauge named name, creating it on first use. Returns nil on
+// a nil set, and a nil *Gauge accepts Add as a no-op, so call sites never
+// need a guard.
+func (s *GaugeSet) G(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gauges[name]
+	if g == nil {
+		g = &Gauge{sim: s.sim}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Names returns the registered gauge names, sorted.
+func (s *GaugeSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.gauges))
+	for n := range s.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Gauge is one level indicator backed by a delta log.
+type Gauge struct {
+	sim    *vtime.Sim
+	mu     sync.Mutex
+	deltas []gaugeDelta
+}
+
+type gaugeDelta struct {
+	at time.Duration
+	d  float64
+}
+
+// Add applies a signed change to the gauge at the current virtual time.
+// Nil-safe.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.deltas = append(g.deltas, gaugeDelta{at: g.sim.Now(), d: d})
+	g.mu.Unlock()
+}
+
+// at returns the gauge value at time t: the sum of deltas stamped <= t.
+func (g *Gauge) at(t time.Duration) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var v float64
+	for _, d := range g.deltas {
+		if d.at <= t {
+			v += d.d
+		}
+	}
+	return v
+}
+
+// Series is a fixed-cadence resampling of a gauge set: Values[i][j] is
+// gauge Names[j] at virtual time Times[i].
+type Series struct {
+	Step   time.Duration
+	Names  []string
+	Times  []time.Duration
+	Values [][]float64
+}
+
+// Series samples every gauge at the fixed cadence step over [0, until],
+// inclusive of the final partial step. The result depends only on the
+// delta logs, never on sampling order, so same-seed runs produce identical
+// series.
+func (s *GaugeSet) Series(step, until time.Duration) Series {
+	se := Series{Step: step, Names: s.Names()}
+	if s == nil || step <= 0 {
+		return se
+	}
+	for t := time.Duration(0); ; t += step {
+		if t > until {
+			break
+		}
+		row := make([]float64, len(se.Names))
+		for j, name := range se.Names {
+			row[j] = s.G(name).at(t)
+		}
+		se.Times = append(se.Times, t)
+		se.Values = append(se.Values, row)
+	}
+	return se
+}
+
+// WriteCSV writes the series as CSV: a header of "t_sec" plus gauge names,
+// then one row per sample. Values are formatted with strconv 'g', which is
+// deterministic for the integral counts gauges hold.
+func (se Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "t_sec,%s\n", strings.Join(se.Names, ",")); err != nil {
+		return err
+	}
+	for i, t := range se.Times {
+		cells := make([]string, 0, len(se.Values[i])+1)
+		cells = append(cells, strconv.FormatFloat(t.Seconds(), 'g', -1, 64))
+		for _, v := range se.Values[i] {
+			cells = append(cells, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the series as a single deterministic JSON object.
+func (se Series) WriteJSON(w io.Writer) error {
+	type sample struct {
+		TSec   float64   `json:"t_sec"`
+		Values []float64 `json:"values"`
+	}
+	out := struct {
+		StepSec float64  `json:"step_sec"`
+		Names   []string `json:"names"`
+		Samples []sample `json:"samples"`
+	}{StepSec: se.Step.Seconds(), Names: se.Names}
+	for i, t := range se.Times {
+		out.Samples = append(out.Samples, sample{TSec: t.Seconds(), Values: se.Values[i]})
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}

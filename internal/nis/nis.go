@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cogrid/internal/rpc"
+	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -95,7 +96,13 @@ func (s *Server) handleCall(sc *rpc.ServerConn, method string, body json.RawMess
 // blocking for the service time plus network round trips — the dominant
 // term in a GRAM request's latency breakdown.
 func Initgroups(from *transport.Host, server transport.Addr, user string, timeout time.Duration) ([]string, error) {
-	conn, err := from.Dial(server)
+	return InitgroupsCtx(from, server, user, timeout, trace.Ctx{})
+}
+
+// InitgroupsCtx is Initgroups under a span context, so the lookup's
+// network traffic stays attributed to the request that triggered it.
+func InitgroupsCtx(from *transport.Host, server transport.Addr, user string, timeout time.Duration, ctx trace.Ctx) ([]string, error) {
+	conn, err := from.DialCtx(server, ctx)
 	if err != nil {
 		return nil, fmt.Errorf("nis: dial: %w", err)
 	}

@@ -38,17 +38,27 @@ const (
 )
 
 type envelope struct {
-	ID     uint64          `json:"id,omitempty"`
-	Kind   string          `json:"kind"`
-	Method string          `json:"method,omitempty"`
-	Error  string          `json:"error,omitempty"`
-	Body   json.RawMessage `json:"body,omitempty"`
+	ID     uint64 `json:"id,omitempty"`
+	Kind   string `json:"kind"`
+	Method string `json:"method,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Req/Span carry the causal span context across the wire, so the
+	// server parents its handler span into the caller's request tree.
+	Req  string          `json:"req,omitempty"`
+	Span string          `json:"span,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
 }
+
+// ctx returns the envelope's causal span context.
+func (e envelope) ctx() trace.Ctx { return trace.Ctx{Req: e.Req, Span: e.Span} }
 
 // Notification is an incoming one-way message.
 type Notification struct {
 	Method string
 	Body   json.RawMessage
+	// Ctx is the sender's causal span context, when the notification was
+	// sent with NotifyCtx.
+	Ctx trace.Ctx
 }
 
 // Decode unmarshals the notification body into v.
@@ -125,13 +135,13 @@ func (c *Client) demux() {
 				// but it still appears in the trace, correlated with the
 				// timed-out call by ID.
 				host := c.conn.LocalAddr().Host
-				c.conn.Network().Tracer().Instant("rpc", "dropped-reply", host, c.conn.Flow(), corrID(c.conn, env.ID))
+				c.conn.Network().Tracer().InstantCtx(env.ctx(), "rpc", "dropped-reply", host, c.conn.Flow(), corrID(c.conn, env.ID))
 				c.conn.Network().Counters().Add(trace.Key("rpc", "reply", "drop", host), 1)
 			}
 		case kindNotify:
-			c.notifications.TrySend(Notification{Method: env.Method, Body: env.Body})
+			c.notifications.TrySend(Notification{Method: env.Method, Body: env.Body, Ctx: env.ctx()})
 			host := c.conn.LocalAddr().Host
-			c.conn.Network().Tracer().Instant("rpc", "notify:"+env.Method, host, c.conn.Flow(), "")
+			c.conn.Network().Tracer().InstantCtx(env.ctx(), "rpc", "notify:"+env.Method, host, c.conn.Flow(), "")
 			c.conn.Network().Counters().Add(trace.Key("rpc", "notify", "recv", host), 1)
 		}
 	}
@@ -161,8 +171,17 @@ func (c *Client) Close() {
 
 // Call sends a request and waits up to timeout for the reply, decoding it
 // into reply (which may be nil). Remote handler errors come back as
-// RemoteError.
+// RemoteError. The call joins the connection's base causal context; use
+// CallCtx to parent it elsewhere.
 func (c *Client) Call(method string, arg, reply any, timeout time.Duration) error {
+	return c.CallCtx(trace.Ctx{}, method, arg, reply, timeout)
+}
+
+// CallCtx is Call under an explicit causal span context: the call span
+// becomes a child of ctx, and the context rides the envelope so the server
+// handler span (and everything below it) lands in the same request tree.
+// A zero ctx falls back to the connection's base context.
+func (c *Client) CallCtx(ctx trace.Ctx, method string, arg, reply any, timeout time.Duration) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -174,16 +193,20 @@ func (c *Client) Call(method string, arg, reply any, timeout time.Duration) erro
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	if !ctx.Valid() {
+		ctx = c.conn.Ctx()
+	}
+	callCtx := ctx.Child("call:" + method + "#" + strconv.FormatUint(id, 10))
 	tr := c.conn.Network().Tracer()
 	host := c.conn.LocalAddr().Host
 	start := tr.Now()
 	finish := func(outcome string) {
-		tr.Span("rpc", "call:"+method, host, c.conn.Flow(), corrID(c.conn, id), start,
+		tr.SpanCtx(callCtx, "rpc", "call:"+method, host, c.conn.Flow(), corrID(c.conn, id), start,
 			trace.Arg{Key: "outcome", Val: outcome})
 		c.conn.Network().Counters().Add(trace.Key("rpc", "call", outcome, host), 1)
 	}
 
-	if err := c.send(envelope{ID: id, Kind: kindCall, Method: method}, arg); err != nil {
+	if err := c.send(envelope{ID: id, Kind: kindCall, Method: method, Req: callCtx.Req, Span: callCtx.Span}, arg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -213,9 +236,17 @@ func (c *Client) Call(method string, arg, reply any, timeout time.Duration) erro
 	return nil
 }
 
-// Notify sends a one-way message.
+// Notify sends a one-way message under the connection's base context.
 func (c *Client) Notify(method string, arg any) error {
-	return c.send(envelope{Kind: kindNotify, Method: method}, arg)
+	return c.NotifyCtx(trace.Ctx{}, method, arg)
+}
+
+// NotifyCtx sends a one-way message carrying the given causal context.
+func (c *Client) NotifyCtx(ctx trace.Ctx, method string, arg any) error {
+	if !ctx.Valid() {
+		ctx = c.conn.Ctx()
+	}
+	return c.send(envelope{Kind: kindNotify, Method: method, Req: ctx.Req, Span: ctx.Span}, arg)
 }
 
 func (c *Client) send(env envelope, arg any) error {
@@ -230,7 +261,7 @@ func (c *Client) send(env envelope, arg any) error {
 	if err != nil {
 		return fmt.Errorf("rpc: marshal envelope: %w", err)
 	}
-	if err := c.conn.Send(raw); err != nil {
+	if err := c.conn.SendCtx(raw, env.ctx()); err != nil {
 		return ErrClosed
 	}
 	return nil
@@ -246,14 +277,32 @@ type ServerConn struct {
 	// Meta carries the preamble's result, e.g. the authenticated identity
 	// established by a GSI handshake.
 	Meta any
+	// Ctx is the causal span context of the call currently being handled
+	// (the caller's context extended with a "serve" segment). It is set by
+	// the per-connection loop immediately before each HandleCall, which
+	// runs synchronously in that loop, so handlers may read it to parent
+	// their own spans. Outside a call it holds the connection's base
+	// context.
+	Ctx trace.Ctx
 }
 
 // RemoteAddr returns the client's address.
 func (sc *ServerConn) RemoteAddr() transport.Addr { return sc.conn.RemoteAddr() }
 
-// Notify pushes a one-way message to the client.
+// Notify pushes a one-way message to the client under the connection's
+// base causal context.
 func (sc *ServerConn) Notify(method string, arg any) error {
-	env := envelope{Kind: kindNotify, Method: method}
+	return sc.NotifyCtx(trace.Ctx{}, method, arg)
+}
+
+// NotifyCtx pushes a one-way message carrying the given causal context
+// (e.g. an asynchronous job-state callback parented to the submit that
+// registered it).
+func (sc *ServerConn) NotifyCtx(ctx trace.Ctx, method string, arg any) error {
+	if !ctx.Valid() {
+		ctx = sc.conn.Ctx()
+	}
+	env := envelope{Kind: kindNotify, Method: method, Req: ctx.Req, Span: ctx.Span}
 	if arg != nil {
 		body, err := json.Marshal(arg)
 		if err != nil {
@@ -265,11 +314,11 @@ func (sc *ServerConn) Notify(method string, arg any) error {
 	if err != nil {
 		return err
 	}
-	if err := sc.conn.Send(raw); err != nil {
+	if err := sc.conn.SendCtx(raw, ctx); err != nil {
 		return ErrClosed
 	}
 	host := sc.conn.LocalAddr().Host
-	sc.conn.Network().Tracer().Instant("rpc", "notify:"+method, host, sc.conn.Flow(), "")
+	sc.conn.Network().Tracer().InstantCtx(ctx, "rpc", "notify:"+method, host, sc.conn.Flow(), "")
 	sc.conn.Network().Counters().Add(trace.Key("rpc", "notify", "send", host), 1)
 	return nil
 }
@@ -336,7 +385,7 @@ func (s *Server) serveConn(conn *transport.Conn) {
 		}
 		meta = m
 	}
-	sc := &ServerConn{sim: s.sim, conn: conn, Meta: meta}
+	sc := &ServerConn{sim: s.sim, conn: conn, Meta: meta, Ctx: conn.Ctx()}
 	tr := conn.Network().Tracer()
 	host := conn.LocalAddr().Host
 	for {
@@ -352,10 +401,18 @@ func (s *Server) serveConn(conn *transport.Conn) {
 		case kindCall:
 			// The serve span covers handler execution and shares the call's
 			// correlation ID, so client and server sides of one RPC line up
-			// in the trace.
+			// in the trace. The envelope's span context parents the serve
+			// span under the caller's call span.
+			serveCtx := env.ctx()
+			if !serveCtx.Valid() {
+				serveCtx = conn.Ctx()
+			}
+			serveCtx = serveCtx.Child("serve")
+			sc.Ctx = serveCtx
 			serveStart := tr.Now()
 			result, err := s.handler.HandleCall(sc, env.Method, env.Body)
-			reply := envelope{ID: env.ID, Kind: kindReply}
+			sc.Ctx = conn.Ctx()
+			reply := envelope{ID: env.ID, Kind: kindReply, Req: serveCtx.Req, Span: serveCtx.Span}
 			outcome := "ok"
 			if err != nil {
 				reply.Error = err.Error()
@@ -369,14 +426,14 @@ func (s *Server) serveConn(conn *transport.Conn) {
 					reply.Body = body
 				}
 			}
-			tr.Span("rpc", "serve:"+env.Method, host, conn.Flow(), corrID(conn, env.ID), serveStart,
+			tr.SpanCtx(serveCtx, "rpc", "serve:"+env.Method, host, conn.Flow(), corrID(conn, env.ID), serveStart,
 				trace.Arg{Key: "outcome", Val: outcome})
 			conn.Network().Counters().Add(trace.Key("rpc", "serve", outcome, host), 1)
 			raw, merr := json.Marshal(reply)
 			if merr != nil {
 				continue
 			}
-			if conn.Send(raw) != nil {
+			if conn.SendCtx(raw, serveCtx) != nil {
 				return
 			}
 		case kindNotify:

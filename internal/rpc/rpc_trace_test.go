@@ -86,6 +86,71 @@ func TestTimedOutCallCorrelatesLateReplyAsDropped(t *testing.T) {
 	}
 }
 
+// A call that times out and is retried under the same span context must
+// keep the whole exchange — both call attempts, both server handlers, and
+// the late dropped reply of the first attempt — attributed to the one
+// request id, with each attempt on its own span path so a causal tree
+// keeps them apart.
+func TestRetriedCallKeepsRequestID(t *testing.T) {
+	sim, tr, _, a, b := newTracedPair(t)
+	startEcho(t, sim, b)
+	ctx := trace.NewRequest("retry-req")
+	err := sim.Run("client", func() {
+		conn, err := a.DialCtx(transport.Addr{Host: "b", Service: "echo"}, ctx)
+		if err != nil {
+			t.Errorf("DialCtx: %v", err)
+			return
+		}
+		c := NewClient(sim, conn)
+		defer c.Close()
+		// First attempt: handler sleeps 5 s, call allows 1 s — the reply is
+		// dropped in flight.
+		if err := c.CallCtx(ctx, "echo", echoArgs{Text: "slow", Delay: 5000}, nil, time.Second); err != ErrTimeout {
+			t.Errorf("first call = %v, want ErrTimeout", err)
+		}
+		// Retry under the same request context succeeds.
+		var reply echoReply
+		if err := c.CallCtx(ctx, "echo", echoArgs{Text: "again"}, &reply, time.Minute); err != nil {
+			t.Errorf("retry: %v", err)
+		}
+		sim.Sleep(10 * time.Second) // let the first attempt's late reply arrive and be dropped
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+
+	// Every event of the exchange — transport hops included — must carry
+	// the request id: the retry may not start a second tree.
+	var calls, serves, dropped []trace.Event
+	for _, ev := range tr.Events() {
+		if ev.Req != "retry-req" {
+			t.Errorf("event %s/%s has req %q, want retry-req", ev.Cat, ev.Name, ev.Req)
+		}
+		switch {
+		case ev.Cat == "rpc" && ev.Name == "call:echo":
+			calls = append(calls, ev)
+		case ev.Cat == "rpc" && ev.Name == "serve:echo":
+			serves = append(serves, ev)
+		case ev.Cat == "rpc" && ev.Name == "dropped-reply":
+			dropped = append(dropped, ev)
+		}
+	}
+	if len(calls) != 2 || len(serves) != 2 || len(dropped) != 1 {
+		t.Fatalf("spans: %d calls, %d serves, %d dropped-replies; want 2, 2, 1",
+			len(calls), len(serves), len(dropped))
+	}
+	if calls[0].Span == calls[1].Span {
+		t.Errorf("both call attempts share span path %q; retries must get distinct paths", calls[0].Span)
+	}
+	a2 := trace.Analyze(tr.Events())
+	if len(a2.Trees) != 1 || a2.Trees[0].Req != "retry-req" {
+		t.Fatalf("analysis built %d trees, want 1 for retry-req", len(a2.Trees))
+	}
+	if cov := a2.Coverage(); cov != 1 {
+		t.Errorf("coverage = %v, want 1", cov)
+	}
+}
+
 // Client call and server handler spans of one RPC share a correlation ID.
 func TestCallAndServeSpansShareCorrelationID(t *testing.T) {
 	sim, tr, _, a, b := newTracedPair(t)

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthetic builds a hand-written two-request trace with known shape:
+//
+//	req-a: req [0,100ms)
+//	         ├── req/queue-wait [0,40ms)
+//	         └── req/attempt0 [40ms,100ms)
+//	               ├── req/attempt0/sj:east/startup-wait [50ms,90ms)
+//	               └── req/attempt0/sj:west/startup-wait [50ms,70ms)
+//	req-b: req [0,10ms) with a repeated child span (two commit legs)
+//	daemon: cache@x refresh spans with no "req" root
+func synthetic() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		{At: ms(0), Dur: ms(100), Cat: "client", Name: "request", Req: "req-a", Span: "req"},
+		{At: ms(0), Dur: ms(40), Cat: "broker", Name: "queue-wait", Req: "req-a", Span: "req/queue-wait"},
+		{At: ms(40), Dur: ms(60), Cat: "broker", Name: "attempt", Req: "req-a", Span: "req/attempt0"},
+		{At: ms(50), Dur: ms(40), Cat: "duroc", Name: "startup-wait", Req: "req-a", Span: "req/attempt0/sj:east/startup-wait"},
+		{At: ms(50), Dur: ms(20), Cat: "duroc", Name: "startup-wait", Req: "req-a", Span: "req/attempt0/sj:west/startup-wait"},
+		{At: ms(55), Cat: "duroc", Name: "barrier-enter", Req: "req-a", Span: "req/attempt0/sj:west"},
+
+		{At: ms(0), Dur: ms(10), Cat: "client", Name: "request", Req: "req-b", Span: "req"},
+		{At: ms(1), Dur: ms(3), Cat: "duroc", Name: "commit", Req: "req-b", Span: "req/commit"},
+		{At: ms(5), Dur: ms(4), Cat: "duroc", Name: "commit", Req: "req-b", Span: "req/commit"},
+
+		{At: ms(7), Dur: ms(2), Cat: "broker", Name: "cache-refresh", Req: "cache@x", Span: "req/refresh"},
+	}
+}
+
+func TestAnalyzeBuildsTreesAndMergesRepeats(t *testing.T) {
+	a := Analyze(synthetic())
+	if len(a.Trees) != 3 {
+		t.Fatalf("trees = %d, want 3", len(a.Trees))
+	}
+	// cache@x has spans only below an unemitted "req" root: a daemon tree.
+	if got := len(a.RequestTrees()); got != 2 {
+		t.Errorf("request trees = %d, want 2", got)
+	}
+	var ta, tb *Tree
+	for _, tr := range a.Trees {
+		switch tr.Req {
+		case "req-a":
+			ta = tr
+		case "req-b":
+			tb = tr
+		}
+	}
+	if ta == nil || tb == nil {
+		t.Fatal("missing req-a or req-b tree")
+	}
+	if len(ta.Roots) != 1 || ta.Root == nil {
+		t.Errorf("req-a roots = %d (root %v), want single root", len(ta.Roots), ta.Root)
+	}
+	// The instant at sj:west has no node of its own; it must attach to the
+	// nearest ancestor span, not count as loose.
+	if ta.Loose != 0 {
+		t.Errorf("req-a loose instants = %d, want 0", ta.Loose)
+	}
+	// Both commit legs of req-b merge into one node holding two intervals.
+	commit := tb.Nodes["req/commit"]
+	if commit == nil || len(commit.Intervals) != 2 {
+		t.Fatalf("req/commit node = %+v, want one node with 2 intervals", commit)
+	}
+}
+
+func TestCriticalPathPartitionsWindowExactly(t *testing.T) {
+	a := Analyze(synthetic())
+	for _, tr := range a.RequestTrees() {
+		ws, we := tr.Root.Window()
+		var sum time.Duration
+		end := we
+		for _, seg := range tr.CriticalPath() {
+			if seg.End != end {
+				t.Errorf("%s: segment ends at %v, want contiguous %v", tr.Req, seg.End, end)
+			}
+			end = seg.Start
+			sum += seg.Dur()
+		}
+		if end != ws {
+			t.Errorf("%s: walk stopped at %v, want window start %v", tr.Req, end, ws)
+		}
+		if sum != we-ws {
+			t.Errorf("%s: critical path sums to %v, want %v", tr.Req, sum, we-ws)
+		}
+	}
+}
+
+func TestCriticalPathPicksLatestEndingChild(t *testing.T) {
+	a := Analyze(synthetic())
+	var ta *Tree
+	for _, tr := range a.RequestTrees() {
+		if tr.Req == "req-a" {
+			ta = tr
+		}
+	}
+	// Walking back from 100ms: attempt0's own tail [90,100), then the
+	// east startup-wait [50,90) — not west, which ended earlier — then
+	// attempt0 [40,50), then queue-wait [0,40).
+	var got []string
+	for _, seg := range ta.CriticalPath() {
+		got = append(got, seg.Node.Cat+"/"+seg.Node.Name)
+	}
+	want := "broker/attempt duroc/startup-wait broker/attempt broker/queue-wait"
+	if strings.Join(got, " ") != want {
+		t.Errorf("critical path = %v, want %s", got, want)
+	}
+	if gate := ta.GatingSubjob(); gate != "east" {
+		t.Errorf("gating subjob = %q, want east (latest startup-wait)", gate)
+	}
+}
+
+func TestCheckFlagsBrokenInvariants(t *testing.T) {
+	if problems := Analyze(synthetic()).Check(); len(problems) != 0 {
+		t.Errorf("healthy trace reported problems: %v", problems)
+	}
+	// Orphan span path that shares no prefix with "req" splits the tree;
+	// unattributed events sink coverage below 99%.
+	bad := append(synthetic(),
+		Event{At: 0, Dur: time.Millisecond, Cat: "x", Name: "stray", Req: "req-a", Span: "elsewhere"},
+		Event{At: 0, Cat: "x", Name: "naked"},
+	)
+	problems := Analyze(bad).Check()
+	var sawCoverage, sawBroken bool
+	for _, p := range problems {
+		if strings.Contains(p, "coverage") {
+			sawCoverage = true
+		}
+		if strings.Contains(p, "broken tree") {
+			sawBroken = true
+		}
+	}
+	if !sawCoverage || !sawBroken {
+		t.Errorf("Check() = %v, want coverage and broken-tree problems", problems)
+	}
+}
+
+func TestReportIsDeterministic(t *testing.T) {
+	events := synthetic()
+	r1 := Analyze(events).Report()
+	// Reversed input order must not change the report.
+	rev := make([]Event, len(events))
+	for i, ev := range events {
+		rev[len(events)-1-i] = ev
+	}
+	r2 := Analyze(rev).Report()
+	if r1 != r2 {
+		t.Errorf("reports differ under input reordering:\n--- fwd\n%s--- rev\n%s", r1, r2)
+	}
+	if !strings.Contains(r1, "gating-subjob east") {
+		t.Errorf("report missing gating subjob:\n%s", r1)
+	}
+}

@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"cogrid/internal/metrics"
@@ -20,6 +22,8 @@ type jsonlEvent struct {
 	Proc string            `json:"proc,omitempty"`
 	Thr  string            `json:"thr,omitempty"`
 	ID   string            `json:"id,omitempty"`
+	Req  string            `json:"req,omitempty"`
+	Span string            `json:"span,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -36,6 +40,8 @@ func WriteJSONL(w io.Writer, events []Event) error {
 			Proc: ev.Proc,
 			Thr:  ev.Thr,
 			ID:   ev.ID,
+			Req:  ev.Req,
+			Span: ev.Span,
 			Args: argMap(ev.Args),
 		}
 		if err := enc.Encode(je); err != nil {
@@ -43,6 +49,50 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses a JSONL trace written by WriteJSONL back into events,
+// preserving order. Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("trace: bad JSONL line %d: %w", len(events)+1, err)
+		}
+		ev := Event{
+			At:   time.Duration(je.At),
+			Dur:  time.Duration(je.Dur),
+			Cat:  je.Cat,
+			Name: je.Name,
+			Proc: je.Proc,
+			Thr:  je.Thr,
+			ID:   je.ID,
+			Req:  je.Req,
+			Span: je.Span,
+		}
+		if len(je.Args) > 0 {
+			keys := make([]string, 0, len(je.Args))
+			for k := range je.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				ev.Args = append(ev.Args, Arg{Key: k, Val: je.Args[k]})
+			}
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
 }
 
 // WriteJSONL writes the tracer's events as JSONL in deterministic order.
@@ -151,9 +201,8 @@ func argMap(args []Arg) map[string]string {
 	return m
 }
 
-// Itoa formats small integers for Args without pulling strconv into every
-// call site.
-func Itoa(n int) string { return fmt.Sprintf("%d", n) }
+// itoa formats small integers for Args and span segments.
+func itoa(n int) string { return strconv.Itoa(n) }
 
 // DeriveTimeline reconstructs a metrics.Timeline from span events,
 // demonstrating that the legacy phase-timeline view is a projection of the

@@ -18,6 +18,7 @@ package trace
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,8 +52,63 @@ type Event struct {
 	// ID is an optional correlation identifier shared by related events,
 	// e.g. an RPC call and its reply processing on the server.
 	ID string
+	// Req is the causal request id this event belongs to (empty for
+	// events outside any request tree).
+	Req string
+	// Span is the event's position in the request's causal tree: a
+	// "/"-separated path from the root ("req"), e.g.
+	// "req/call:submit#1/serve/attempt1/sj:site00/submit". The parent
+	// span is the longest proper path prefix that names another span.
+	Span string
 	// Args are optional annotations.
 	Args []Arg
+}
+
+// Ctx is a propagated span context: the request id plus the causal path of
+// the current span. It is carried through RPC envelopes and transport
+// message metadata so every layer stamps its events into the same request
+// tree. The zero Ctx is "untraced": Child on it stays zero and events keep
+// empty Req/Span.
+type Ctx struct {
+	Req  string
+	Span string
+}
+
+// NewRequest roots a fresh causal tree for request id. The root span path
+// is always "req" so analyzers can find the request root by name.
+func NewRequest(id string) Ctx { return Ctx{Req: id, Span: "req"} }
+
+// Valid reports whether the context belongs to a request tree.
+func (c Ctx) Valid() bool { return c.Req != "" }
+
+// Child derives the context for a sub-span named seg. Deriving from the
+// zero Ctx yields the zero Ctx, so untraced paths propagate nothing.
+func (c Ctx) Child(seg string) Ctx {
+	if c.Req == "" {
+		return Ctx{}
+	}
+	if c.Span == "" {
+		return Ctx{Req: c.Req, Span: seg}
+	}
+	return Ctx{Req: c.Req, Span: c.Span + "/" + seg}
+}
+
+// Seg sanitizes s for use as a span path segment: "/" is the path
+// separator, so embedded slashes (job ids, subjob labels) become "_".
+func Seg(s string) string { return strings.ReplaceAll(s, "/", "_") }
+
+// String encodes the context for out-of-band carriers (e.g. an environment
+// variable handed to a spawned process). ParseCtx inverts it.
+func (c Ctx) String() string { return c.Req + "|" + c.Span }
+
+// ParseCtx decodes a Ctx produced by String. Malformed or empty input
+// yields the zero Ctx.
+func ParseCtx(s string) Ctx {
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return Ctx{}
+	}
+	return Ctx{Req: s[:i], Span: s[i+1:]}
 }
 
 // Tracer records events in virtual time. The zero value is not usable;
@@ -118,6 +174,40 @@ func (t *Tracer) SpanAt(cat, name, proc, thr, id string, start, end time.Duratio
 	t.Emit(Event{At: start, Dur: dur, Cat: cat, Name: name, Proc: proc, Thr: thr, ID: id, Args: args})
 }
 
+// InstantCtx records an instant event stamped now, tagged with the span
+// context. Nil-safe.
+func (t *Tracer) InstantCtx(ctx Ctx, cat, name, proc, thr, id string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: t.sim.Now(), Cat: cat, Name: name, Proc: proc, Thr: thr, ID: id,
+		Req: ctx.Req, Span: ctx.Span, Args: args})
+}
+
+// SpanCtx records a complete span from start to now, tagged with the span
+// context. Nil-safe.
+func (t *Tracer) SpanCtx(ctx Ctx, cat, name, proc, thr, id string, start time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.SpanAtCtx(ctx, cat, name, proc, thr, id, start, t.sim.Now(), args...)
+}
+
+// SpanAtCtx records a complete span over [start, end), tagged with the
+// span context. A span with end < start is recorded with zero duration.
+// Nil-safe.
+func (t *Tracer) SpanAtCtx(ctx Ctx, cat, name, proc, thr, id string, start, end time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.Emit(Event{At: start, Dur: dur, Cat: cat, Name: name, Proc: proc, Thr: thr, ID: id,
+		Req: ctx.Req, Span: ctx.Span, Args: args})
+}
+
 // Add records a phase span under category "phase", satisfying the
 // gram.PhaseRecorder interface so a Tracer can stand in anywhere a
 // metrics.Timeline was used. The actor becomes the thread track inside a
@@ -178,6 +268,12 @@ func less(a, b Event) bool {
 	}
 	if a.ID != b.ID {
 		return a.ID < b.ID
+	}
+	if a.Req != b.Req {
+		return a.Req < b.Req
+	}
+	if a.Span != b.Span {
+		return a.Span < b.Span
 	}
 	if a.Dur != b.Dur {
 		return a.Dur < b.Dur

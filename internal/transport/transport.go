@@ -12,11 +12,13 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cogrid/internal/metrics"
 	"cogrid/internal/trace"
 	"cogrid/internal/vtime"
 )
@@ -131,6 +133,7 @@ type Network struct {
 
 	tracer   atomic.Pointer[trace.Tracer]
 	counters atomic.Pointer[trace.Counters]
+	gauges   atomic.Pointer[metrics.GaugeSet]
 }
 
 // New creates a network on sim with the given latency model.
@@ -168,6 +171,16 @@ func (n *Network) SetCounters(c *trace.Counters) { n.counters.Store(c) }
 
 // Counters returns the attached registry, or nil.
 func (n *Network) Counters() *trace.Counters { return n.counters.Load() }
+
+// SetGauges attaches a gauge registry. Layers above read it from here (as
+// with Tracer and Counters) to record virtual-time level indicators such
+// as queue depth and busy processors. A nil set (the default) disables
+// gauges.
+func (n *Network) SetGauges(g *metrics.GaugeSet) { n.gauges.Store(g) }
+
+// Gauges returns the attached gauge registry, or nil (which is itself a
+// valid no-op registry).
+func (n *Network) Gauges() *metrics.GaugeSet { return n.gauges.Load() }
 
 // AddHost registers a host by name. Adding an existing name returns the
 // existing host.
@@ -333,7 +346,13 @@ const DialTimeout = 30 * time.Second
 // establishment costs one round trip. Dialing a crashed host or a missing
 // service is refused after one round trip; dialing through a partition or
 // into a hung host times out after DialTimeout.
-func (h *Host) Dial(to Addr) (*Conn, error) {
+func (h *Host) Dial(to Addr) (*Conn, error) { return h.DialCtx(to, trace.Ctx{}) }
+
+// DialCtx is Dial carrying a causal span context. The context becomes the
+// connection's base context: handshake traffic and any context-less sends
+// on the connection inherit it, and it disambiguates the connection's flow
+// identifier (see newConnPair).
+func (h *Host) DialCtx(to Addr, ctx trace.Ctx) (*Conn, error) {
 	n := h.net
 	n.mu.Lock()
 	if h.state != hostUp {
@@ -352,7 +371,7 @@ func (h *Host) Dial(to Addr) (*Conn, error) {
 	for !n.deliverable(h.name, to.Host) {
 		remaining := deadline - n.sim.Now()
 		if remaining <= 0 {
-			n.Tracer().Span("transport", "dial", h.name, to.String(), "", dialStart,
+			n.Tracer().SpanCtx(ctx.Child("dial"), "transport", "dial", h.name, to.String(), "", dialStart,
 				trace.Arg{Key: "outcome", Val: "timeout"})
 			return nil, ErrDialTimeout
 		}
@@ -373,7 +392,7 @@ func (h *Host) Dial(to Addr) (*Conn, error) {
 	refused := l == nil
 	var client, server *Conn
 	if !refused {
-		client, server = newConnPair(n, Addr{h.name, "client"}, to)
+		client, server = newConnPair(n, Addr{h.name, "client"}, to, ctx)
 		h.conns[client] = struct{}{}
 		remote.conns[server] = struct{}{}
 	}
@@ -381,18 +400,18 @@ func (h *Host) Dial(to Addr) (*Conn, error) {
 
 	n.sim.Sleep(oneWay) // SYN-ACK
 	if refused {
-		n.Tracer().Span("transport", "dial", h.name, to.String(), "", dialStart,
+		n.Tracer().SpanCtx(ctx.Child("dial"), "transport", "dial", h.name, to.String(), "", dialStart,
 			trace.Arg{Key: "outcome", Val: "refused"})
 		return nil, ErrRefused
 	}
 	if !l.accept.TrySend(server) {
 		// Accept backlog full: refuse.
 		client.Close()
-		n.Tracer().Span("transport", "dial", h.name, to.String(), "", dialStart,
+		n.Tracer().SpanCtx(ctx.Child("dial"), "transport", "dial", h.name, to.String(), "", dialStart,
 			trace.Arg{Key: "outcome", Val: "backlog-full"})
 		return nil, ErrRefused
 	}
-	n.Tracer().Span("transport", "dial", h.name, to.String(), client.flow, dialStart,
+	n.Tracer().SpanCtx(ctx.Child("dial"), "transport", "dial", h.name, to.String(), client.flow, dialStart,
 		trace.Arg{Key: "outcome", Val: "ok"})
 	return client, nil
 }
@@ -441,6 +460,9 @@ type outMsg struct {
 	payload   []byte
 	deliverAt time.Duration
 	fin       bool
+	// ctx is the causal context of the send, stamped on the matching recv
+	// or drop event at the far end of the wire.
+	ctx trace.Ctx
 }
 
 // Conn is one end of a reliable, in-order, message-oriented connection.
@@ -457,6 +479,9 @@ type Conn struct {
 	// hosts. dirFlow is this end's directional name (local->remote@t).
 	flow    string
 	dirFlow string
+	// ctx is the base causal context the connection was dialed under;
+	// both ends share it. Context-less sends inherit it.
+	ctx trace.Ctx
 	// Per-connection counter handles, nil when no registry is attached.
 	cSend, cSendBytes, cRecv, cRecvBytes, cDrop *trace.Counter
 
@@ -473,11 +498,28 @@ func (c *Conn) Flow() string { return c.flow }
 // to reach the attached Tracer and Counters.
 func (c *Conn) Network() *Network { return c.net }
 
+// Ctx returns the base causal context the connection was dialed under
+// (zero for context-less dials). Both ends share it.
+func (c *Conn) Ctx() trace.Ctx { return c.ctx }
+
 // newConnPair builds both ends of a connection along with their delivery
 // daemons. Caller holds n.mu.
-func newConnPair(n *Network, clientAddr, serverAddr Addr) (client, server *Conn) {
+//
+// The flow identifier is client=>server@establish-time; two dials between
+// the same host pair in the same microsecond would collide, so when a dial
+// carries a causal context a short hash of it is appended — the contexts
+// of simultaneous dials differ, keeping flows (and the correlation IDs
+// layered on them) unique per connection.
+func newConnPair(n *Network, clientAddr, serverAddr Addr, ctx trace.Ctx) (client, server *Conn) {
 	ts := strconv.FormatInt(int64(n.sim.Now()/time.Microsecond), 10)
 	flow := clientAddr.String() + "=>" + serverAddr.String() + "@" + ts
+	if ctx.Valid() {
+		h := fnv.New32a()
+		h.Write([]byte(ctx.Req))
+		h.Write([]byte{0})
+		h.Write([]byte(ctx.Span))
+		flow += "~" + strconv.FormatUint(uint64(h.Sum32()), 16)
+	}
 	ctrs := n.Counters()
 	mk := func(local, remote Addr) *Conn {
 		tag := local.String() + "->" + remote.String()
@@ -486,6 +528,7 @@ func newConnPair(n *Network, clientAddr, serverAddr Addr) (client, server *Conn)
 			local:   local,
 			remote:  remote,
 			flow:    flow,
+			ctx:     ctx,
 			dirFlow: tag + "@" + ts,
 			in:      vtime.NewChan[[]byte](n.sim, "in:"+tag, 4096),
 			out:     vtime.NewChan[outMsg](n.sim, "out:"+tag, 4096),
@@ -522,11 +565,11 @@ func (c *Conn) deliverLoop() {
 			return
 		}
 		if !c.net.deliverable(c.local.Host, c.remote.Host) {
-			c.dropped(len(m.payload), "in-flight")
+			c.dropped(len(m.payload), "in-flight", m.ctx)
 			continue // dropped in flight
 		}
 		if !c.peer.in.TrySend(m.payload) { // inbox overflow drops, like UDP under DoS
-			c.dropped(len(m.payload), "overflow")
+			c.dropped(len(m.payload), "overflow", m.ctx)
 			continue
 		}
 		c.peer.cRecv.Add(1)
@@ -535,18 +578,18 @@ func (c *Conn) deliverLoop() {
 			ctrs.Add(trace.Key("transport", "msgs", "recv", c.remote.Host), 1)
 			ctrs.Add(trace.Key("transport", "bytes", "recv", c.remote.Host), int64(len(m.payload)))
 		}
-		c.net.Tracer().Instant("transport", "recv", c.remote.Host, c.peer.dirFlow, c.flow,
+		c.net.Tracer().InstantCtx(m.ctx, "transport", "recv", c.remote.Host, c.peer.dirFlow, c.flow,
 			trace.Arg{Key: "bytes", Val: strconv.Itoa(len(m.payload))})
 	}
 }
 
 // dropped accounts for a message lost on this end's send path.
-func (c *Conn) dropped(size int, reason string) {
+func (c *Conn) dropped(size int, reason string, ctx trace.Ctx) {
 	c.cDrop.Add(1)
 	if ctrs := c.net.Counters(); ctrs != nil {
 		ctrs.Add(trace.Key("transport", "msgs", "drop", c.local.Host), 1)
 	}
-	c.net.Tracer().Instant("transport", "drop", c.local.Host, c.dirFlow, c.flow,
+	c.net.Tracer().InstantCtx(ctx, "transport", "drop", c.local.Host, c.dirFlow, c.flow,
 		trace.Arg{Key: "bytes", Val: strconv.Itoa(size)},
 		trace.Arg{Key: "reason", Val: reason})
 }
@@ -560,7 +603,16 @@ func (c *Conn) RemoteAddr() Addr { return c.remote }
 // Send transmits payload to the peer. It fails if the connection is closed
 // or the local host is down; a partition or remote failure silently drops
 // the message instead (the peer sees lack of progress, not an error).
-func (c *Conn) Send(payload []byte) error {
+func (c *Conn) Send(payload []byte) error { return c.SendCtx(payload, c.ctx) }
+
+// SendCtx is Send carrying the causal context of this message: the hop
+// span and the far end's recv (or drop) event are stamped into that
+// request's tree. A zero context falls back to the connection's base
+// context.
+func (c *Conn) SendCtx(payload []byte, ctx trace.Ctx) error {
+	if !ctx.Valid() {
+		ctx = c.ctx
+	}
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
@@ -576,7 +628,7 @@ func (c *Conn) Send(payload []byte) error {
 		return ErrHostDown
 	}
 	if !n.deliverable(c.local.Host, c.remote.Host) {
-		c.dropped(len(payload), "unreachable")
+		c.dropped(len(payload), "unreachable", ctx)
 		return nil // silently dropped
 	}
 	n.msgs.Add(1)
@@ -590,7 +642,7 @@ func (c *Conn) Send(payload []byte) error {
 	now := n.sim.Now()
 	oneWay := n.latency.Latency(c.local.Host, c.remote.Host)
 	// One hop span per send, covering the wire time to the peer.
-	c.net.Tracer().SpanAt("transport", "hop", c.local.Host, c.dirFlow, c.flow, now, now+oneWay,
+	c.net.Tracer().SpanAtCtx(ctx.Child("hop"), "transport", "hop", c.local.Host, c.dirFlow, c.flow, now, now+oneWay,
 		trace.Arg{Key: "bytes", Val: strconv.Itoa(len(payload))},
 		trace.Arg{Key: "to", Val: c.remote.String()})
 	buf := make([]byte, len(payload))
@@ -601,6 +653,7 @@ func (c *Conn) Send(payload []byte) error {
 	c.out.TrySend(outMsg{
 		payload:   buf,
 		deliverAt: now + oneWay,
+		ctx:       ctx,
 	})
 	return nil
 }

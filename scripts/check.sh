@@ -36,4 +36,7 @@ go test -race $short ./...
 echo "== chaos smoke (leak check)"
 go run ./cmd/benchgrid -fig none -app chaos -smoke >/dev/null
 
+echo "== trace smoke (causal-tracing invariants)"
+go run ./cmd/tracegrid -smoke -check >/dev/null
+
 echo "ok: all checks passed"
