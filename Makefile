@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke cover
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -37,3 +37,16 @@ chaos-smoke:
 # does not sum exactly to its request's end-to-end latency.
 trace-smoke:
 	$(GO) run ./cmd/tracegrid -smoke -check
+
+# Deterministic simulation testing: 200 randomized co-allocation
+# scenarios checked against the protocol invariant library; exits
+# non-zero (with a shrunk, replayable reproduction) on any violation.
+# See TESTING.md for the seed-replay workflow.
+dst-smoke:
+	$(GO) run ./cmd/dstgrid -seeds 200 -smoke
+
+# Total statement coverage across all packages. check.sh warns (but
+# does not fail) when the total drops below its floor.
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1

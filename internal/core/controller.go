@@ -30,6 +30,19 @@ const (
 	EnvTrace = "DUROC_TRACE"
 )
 
+// Bugs injects known-wrong protocol behavior into a controller. It exists
+// solely for the deterministic simulation-testing harness (internal/dst),
+// whose self-tests must prove the invariant checker catches a broken
+// two-phase commit; production configurations leave it zero.
+type Bugs struct {
+	// DoubleCommit makes the coordinator reach the commit decision as soon
+	// as any participant has voted, without waiting for — or re-checking —
+	// the remaining votes: the premature double commit-decision bug of a
+	// broken 2PC implementation. Barriers release while non-optional
+	// subjobs are still waiting or even failed.
+	DoubleCommit bool
+}
+
 // ControllerConfig configures a co-allocation controller.
 type ControllerConfig struct {
 	Credential gsi.Credential
@@ -58,6 +71,9 @@ type ControllerConfig struct {
 	// resource manager answers. The callback runs on the cancel daemon
 	// and must not block.
 	OnOrphan func(Orphan)
+	// Bugs injects deliberately broken protocol behavior for simulation
+	// testing. Leave zero outside internal/dst self-tests.
+	Bugs Bugs
 }
 
 // Orphan identifies a subjob whose cancel was issued but never
@@ -90,6 +106,7 @@ type Controller struct {
 	mu      sync.Mutex
 	nextJob int
 	jobs    map[string]*Job
+	order   []*Job // submission order, for deterministic iteration
 	server  *rpc.Server
 }
 
@@ -146,6 +163,15 @@ func (c *Controller) Contact() transport.Addr {
 // Sim returns the kernel the controller runs on.
 func (c *Controller) Sim() *vtime.Sim { return c.sim }
 
+// Jobs returns every co-allocation this controller has accepted, in
+// submission order — the post-run audit surface the simulation-testing
+// harness checks protocol invariants against.
+func (c *Controller) Jobs() []*Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Job(nil), c.order...)
+}
+
 // Submit starts a co-allocation for the request and returns immediately;
 // submission, monitoring, and the barrier run in the background. The agent
 // drives the job via its Events stream, edit operations, and Commit.
@@ -191,6 +217,7 @@ func (c *Controller) SubmitCtx(req Request, ctx trace.Ctx) (*Job, error) {
 
 	c.mu.Lock()
 	c.jobs[id] = j
+	c.order = append(c.order, j)
 	c.mu.Unlock()
 	// Outstanding 2PC transactions gauge: one per live co-allocation,
 	// decremented when the job finishes (committed-and-done or aborted).

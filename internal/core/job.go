@@ -464,7 +464,14 @@ func (j *Job) monitorSubjob(sj *subjob, client *gram.Client) {
 		case lrm.StateDone:
 			j.mu.Lock()
 			released := sj.status == SJReleased
-			lateOptional := j.released && sj.spec.Type == Optional && !sj.status.terminal()
+			// A fully checked-in optional subjob is part of the released
+			// configuration and must finish through subjobDone like any
+			// other participant; only optionals still outside it at release
+			// time take the late-joiner path. Without the !released guard
+			// the status flips to SJDone here and subjobDone's re-check
+			// balks, so the job never observes the completion and EvDone
+			// never fires.
+			lateOptional := !released && j.released && sj.spec.Type == Optional && !sj.status.terminal()
 			if lateOptional {
 				sj.status = SJDone
 			}
@@ -526,6 +533,79 @@ func (j *Job) subjobDone(sj *subjob) {
 	j.mu.Unlock()
 	j.emit(EvSubjobDone, sj, "")
 	j.checkAllDone()
+}
+
+// completionGrace is how far past a released subjob's wall-time limit the
+// controller waits for the completion callback before polling the
+// resource manager directly, and the retry pace when the poll cannot get
+// an answer.
+const completionGrace = 30 * time.Second
+
+// superviseReleased arms a completion watchdog on every released subjob
+// that has a wall-time limit. Completion callbacks ride an event stream a
+// network partition can drop silently: the LRM job finishes and frees its
+// processors, but the controller would wait for EvSubjobDone forever.
+// Once the wall-time limit plus grace passes, the job must have left the
+// machine one way or another, so the watchdog polls the resource manager
+// for the authoritative verdict. Subjobs without a limit are unbounded by
+// contract and cannot be supervised this way.
+func (j *Job) superviseReleased() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, sj := range j.subjobs {
+		if sj.status == SJReleased && sj.spec.MaxTime > 0 {
+			sj := sj
+			j.c.sim.AfterFunc(sj.spec.MaxTime+completionGrace, func() { j.pollReleased(sj) })
+		}
+	}
+}
+
+// pollReleased resolves a released subjob whose completion notification is
+// overdue: a fresh dial (the original connection may itself be the
+// casualty) and a state poll, retried until the resource manager answers.
+// The poll's verdict feeds the normal completion paths, so a lost DONE
+// callback becomes subjobDone and a lost FAILED becomes the usual failure
+// semantics.
+func (j *Job) pollReleased(sj *subjob) {
+	j.mu.Lock()
+	overdue := sj.status == SJReleased
+	spec := sj.spec
+	contact := sj.contact
+	ctx := sj.ctx
+	j.mu.Unlock()
+	if !overdue {
+		return
+	}
+	retry := func() { j.c.sim.AfterFunc(completionGrace, func() { j.pollReleased(sj) }) }
+	client, err := gram.Dial(j.c.host, spec.Contact, gram.ClientConfig{
+		Credential: j.c.cfg.Credential,
+		Registry:   j.c.cfg.Registry,
+		AuthCost:   j.c.cfg.AuthCost,
+		Ctx:        ctx.Child("completion-poll"),
+	})
+	if err != nil {
+		retry()
+		return
+	}
+	defer client.Close()
+	state, reason, err := client.Status(contact)
+	if err != nil {
+		retry()
+		return
+	}
+	j.c.counters().Add(trace.Key("duroc", "completion", "poll", j.c.host.Name()), 1)
+	switch state {
+	case lrm.StateDone:
+		j.subjobDone(sj)
+	case lrm.StateFailed:
+		j.subjobFailed(sj, "completion watchdog: resource manager reports failure: "+reason)
+	case lrm.StateCancelled:
+		j.subjobFailed(sj, "completion watchdog: cancelled at resource manager")
+	default:
+		// Still on the machine: wall-time enforcement is evidently lax
+		// here (fork-mode machines do not meter). Keep watching.
+		retry()
+	}
 }
 
 // checkAllDone completes the job once every released subjob has finished.
@@ -736,6 +816,12 @@ func (j *Job) readinessLocked() CommitReadiness {
 	if len(r.CheckedIn) == 0 {
 		r.Ready = false
 	}
+	if j.c.cfg.Bugs.DoubleCommit && len(r.CheckedIn) > 0 {
+		// Injected 2PC bug (see core.Bugs): one vote is treated as
+		// unanimity, so the commit decision lands while non-optional
+		// participants are still waiting or failed.
+		r.Ready = true
+	}
 	return r
 }
 
@@ -775,6 +861,7 @@ func (j *Job) Commit(timeout time.Duration) (Config, error) {
 			cfg := j.releaseLocked()
 			j.mu.Unlock()
 			j.emit(EvCommitted, nil, "")
+			j.superviseReleased()
 			finish("ok")
 			return cfg, nil
 		}

@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cogrid/internal/core"
+	"cogrid/internal/lrm"
+)
+
+// TestPolicyMatrixSingleSubjobFailure pins the Section 3.2 subjob-type
+// policy matrix: one healthy required subjob plus one failing subjob of
+// each type, failing either at startup (before the barrier vote) or
+// while running (after release). Every cell asserts the final job
+// state — whether the commit goes through, the committed world size,
+// whether the controller terminates the computation on its own, and the
+// terminal status of both subjobs.
+func TestPolicyMatrixSingleSubjobFailure(t *testing.T) {
+	cases := []struct {
+		name     string
+		failType core.SubjobType
+		failExec string            // "badstart" fails pre-vote, "diesafter" post-release
+		waitFor  core.SubjobStatus // shaky status to wait for before Commit (0 = none)
+
+		commitOK  bool   // does Commit succeed?
+		world     int    // committed world size when commitOK
+		selfTerm  bool   // controller ends the job without agent help
+		errSubstr string // substring of Job.Err after settling
+		healthy   core.SubjobStatus
+	}{
+		{
+			// Required startup failure kills the whole computation before
+			// any process passes the barrier; the healthy subjob's vote is
+			// revoked and its processes are torn down.
+			name: "required-startup", failType: core.Required, failExec: "badstart",
+			commitOK: false, selfTerm: true, errSubstr: "required subjob",
+			healthy: core.SJFailed,
+		},
+		{
+			// Interactive startup failure is reported to the agent, who
+			// decides; with no reaction the commit times out and the agent
+			// must clean up — the controller does not abort on its own.
+			name: "interactive-startup", failType: core.Interactive, failExec: "badstart",
+			commitOK: false, selfTerm: false, errSubstr: "agent gives up",
+			healthy: core.SJFailed,
+		},
+		{
+			// Optional startup failure is dropped from the configuration;
+			// the rest of the computation commits without it and completes.
+			// (Wait for the failure so the commit demonstrably happens
+			// after it — otherwise an undecided optional is merely left out
+			// of the initial configuration, which is the late-joiner path,
+			// not the failure-policy path under test.)
+			name: "optional-startup", failType: core.Optional, failExec: "badstart",
+			waitFor:  core.SJFailed,
+			commitOK: true, world: 2, selfTerm: true, errSubstr: "",
+			healthy: core.SJDone,
+		},
+		{
+			// Required running failure terminates the computation even
+			// after a successful commit: the still-computing healthy subjob
+			// is killed mid-flight.
+			name: "required-running", failType: core.Required, failExec: "diesafter",
+			waitFor:  core.SJCheckedIn,
+			commitOK: true, world: 4, selfTerm: true, errSubstr: "required subjob",
+			healthy: core.SJFailed,
+		},
+		{
+			// Interactive running failure after release leaves the rest of
+			// the computation to finish normally.
+			name: "interactive-running", failType: core.Interactive, failExec: "diesafter",
+			waitFor:  core.SJCheckedIn,
+			commitOK: true, world: 4, selfTerm: true, errSubstr: "",
+			healthy: core.SJDone,
+		},
+		{
+			// Optional running failure likewise does not disturb the rest.
+			// (Wait for the check-in so the optional is demonstrably inside
+			// the committed configuration when it fails.)
+			name: "optional-running", failType: core.Optional, failExec: "diesafter",
+			waitFor:  core.SJCheckedIn,
+			commitOK: true, world: 4, selfTerm: true, errSubstr: "",
+			healthy: core.SJDone,
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rig := newRig(t, "healthy", "shaky")
+			rig.g.RegisterEverywhere("diesafter", func(p *lrm.Proc) error {
+				rt, err := core.Attach(p)
+				if err != nil {
+					return err
+				}
+				defer rt.Close()
+				if _, err := rt.Barrier(true, "", 0); err != nil {
+					return nil
+				}
+				if err := p.Work(5*time.Second, time.Second); err != nil {
+					return err
+				}
+				return errors.New("application fault after release")
+			})
+			// The healthy subjob computes long enough that every
+			// post-release failure lands while it is still running; a
+			// required failure must be seen killing it, not racing its
+			// natural completion.
+			rig.g.RegisterEverywhere("longapp", func(p *lrm.Proc) error {
+				rt, err := core.Attach(p)
+				if err != nil {
+					return err
+				}
+				defer rt.Close()
+				if _, err := rt.Barrier(true, "", 0); err != nil {
+					return nil
+				}
+				return p.Work(10*time.Minute, 10*time.Second)
+			})
+			err := rig.g.Sim.Run("agent", func() {
+				healthy := rig.spec("healthy", 2, core.Required)
+				healthy.Executable = "longapp"
+				failing := rig.spec("shaky", 2, tc.failType)
+				failing.Executable = tc.failExec
+				job, err := rig.ctrl.Submit(core.Request{Subjobs: []core.SubjobSpec{healthy, failing}})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if tc.waitFor != 0 && !waitSubjobStatus(rig, job, "shaky", tc.waitFor) {
+					t.Errorf("shaky never reached %v", tc.waitFor)
+					return
+				}
+				cfg, err := job.Commit(90 * time.Second)
+				if (err == nil) != tc.commitOK {
+					t.Errorf("Commit err = %v, want success=%v", err, tc.commitOK)
+					return
+				}
+				if tc.commitOK && cfg.WorldSize != tc.world {
+					t.Errorf("world size = %d, want %d", cfg.WorldSize, tc.world)
+				}
+				if tc.selfTerm {
+					if !job.Done().WaitTimeout(30 * time.Minute) {
+						t.Error("controller never settled the job on its own")
+						return
+					}
+				} else {
+					// The controller must NOT have ended the job: the policy
+					// leaves the decision with the agent.
+					rig.g.Sim.Sleep(2 * time.Minute)
+					if job.Done().IsSet() {
+						t.Error("controller terminated the job; the policy leaves that to the agent")
+					}
+					job.Abort("agent gives up")
+					if !job.Done().WaitTimeout(10 * time.Minute) {
+						t.Error("job never settled after agent abort")
+						return
+					}
+				}
+				if !strings.Contains(job.Err(), tc.errSubstr) {
+					t.Errorf("job error = %q, want substring %q", job.Err(), tc.errSubstr)
+				}
+				for _, si := range job.Status() {
+					switch si.Spec.Label {
+					case "shaky":
+						if si.Status != core.SJFailed {
+							t.Errorf("failing subjob status = %v, want %v", si.Status, core.SJFailed)
+						}
+					case "healthy":
+						if si.Status != tc.healthy {
+							t.Errorf("healthy subjob status = %v, want %v", si.Status, tc.healthy)
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+		})
+	}
+}
+
+// waitSubjobStatus polls until the labelled subjob reaches the given
+// status, bounded at five virtual minutes.
+func waitSubjobStatus(rig *testRig, job *core.Job, label string, want core.SubjobStatus) bool {
+	for i := 0; i < 3000; i++ {
+		for _, si := range job.Status() {
+			if si.Spec.Label == label && si.Status == want {
+				return true
+			}
+		}
+		rig.g.Sim.Sleep(100 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+)
+
+// These tests interleave grid.RestartMachine with in-flight 2PC commits.
+// A restart severs the network but keeps the LRM's job table, so the
+// same job can be observed failing over the dead connection AND
+// cancelled over the fresh one — the classic double-free window. Batch
+// machines meter processors, so any double count shows up directly in
+// FreeProcessors.
+
+// restartRig is a two-batch-machine grid with the standard barrier app.
+func restartRig(t *testing.T) (*grid.Grid, *core.Controller) {
+	t.Helper()
+	g := grid.New(grid.Options{})
+	g.AddMachine("b1", 8, lrm.Batch)
+	g.AddMachine("b2", 8, lrm.Batch)
+	g.RegisterEverywhere("app", func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 0); err != nil {
+			return nil
+		}
+		return p.Work(time.Second, time.Second)
+	})
+	ctrl, err := core.NewController(g.Workstation, core.ControllerConfig{
+		Credential: g.UserCred,
+		Registry:   g.Registry,
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return g, ctrl
+}
+
+// waitAllCheckedIn polls until every subjob has voted, i.e. the
+// reservation phase of the 2PC is complete on both machines.
+func waitAllCheckedIn(g *grid.Grid, job *core.Job) bool {
+	for i := 0; i < 3000; i++ {
+		all := true
+		for _, si := range job.Status() {
+			if si.Status != core.SJCheckedIn {
+				all = false
+			}
+		}
+		if all {
+			return true
+		}
+		g.Sim.Sleep(100 * time.Millisecond)
+	}
+	return false
+}
+
+// assertAccounting checks the no-double-count postcondition: once the
+// grid quiesces, every batch machine must have exactly its full
+// processor complement free — neither fewer (leak) nor the impossible
+// more (double free) — and no live jobs in any LRM table.
+func assertAccounting(t *testing.T, g *grid.Grid) {
+	t.Helper()
+	for _, name := range []string{"b1", "b2"} {
+		m := g.Machine(name)
+		if free, total := m.FreeProcessors(), m.Processors(); free != total {
+			t.Errorf("%s: %d/%d processors free after quiescence", name, free, total)
+		}
+		if live := m.LiveJobs(); live != 0 {
+			t.Errorf("%s: %d live LRM jobs after quiescence", name, live)
+		}
+	}
+}
+
+// proveExactCapacity submits a machine-filling job to b1 and commits it.
+// It can only succeed if exactly 8 processors are free: a leak starves
+// it, a double free would have tripped assertAccounting before the call.
+func proveExactCapacity(t *testing.T, g *grid.Grid, ctrl *core.Controller) {
+	job, err := ctrl.Submit(core.Request{Subjobs: []core.SubjobSpec{{
+		Contact:    g.Contact("b1"),
+		Count:      8,
+		Executable: "app",
+		Type:       core.Required,
+		Label:      "fill",
+	}}})
+	if err != nil {
+		t.Errorf("full-capacity Submit after restart: %v", err)
+		return
+	}
+	if _, err := job.Commit(5 * time.Minute); err != nil {
+		t.Errorf("full-capacity Commit after restart: %v", err)
+		return
+	}
+	if free := g.Machine("b1").FreeProcessors(); free != 0 {
+		t.Errorf("b1: %d processors free while a full-machine job runs, want 0", free)
+	}
+	if !job.Done().WaitTimeout(10 * time.Minute) {
+		t.Error("full-capacity job never completed")
+	}
+}
+
+// TestRestartMachineBetweenReserveAndCommit crashes and restarts b1
+// after both subjobs check in but before the agent issues the commit.
+// The severed callback connections fail the b1 subjob (required, so the
+// whole job aborts), while the restarted gatekeeper accepts the
+// controller's cancel for the same LRM job. The processors must be
+// released exactly once.
+func TestRestartMachineBetweenReserveAndCommit(t *testing.T) {
+	g, ctrl := restartRig(t)
+	err := g.Sim.Run("agent", func() {
+		job, err := ctrl.Submit(core.Request{Subjobs: []core.SubjobSpec{
+			{Contact: g.Contact("b1"), Count: 4, Executable: "app", Type: core.Required, Label: "b1"},
+			{Contact: g.Contact("b2"), Count: 4, Executable: "app", Type: core.Required, Label: "b2"},
+		}})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		if !waitAllCheckedIn(g, job) {
+			t.Error("subjobs never checked in")
+			return
+		}
+		// Reservation complete, commit not yet issued: bounce the machine.
+		g.Net.Host("b1").Crash()
+		g.Sim.Sleep(time.Second)
+		g.RestartMachine("b1")
+
+		// The commit may fail (required subjob lost its callbacks) or
+		// succeed (votes were already recorded); either way the job must
+		// settle and the accounting must balance.
+		if _, err := job.Commit(5 * time.Minute); err != nil {
+			if !job.Done().WaitTimeout(15 * time.Minute) {
+				t.Error("aborted job never settled")
+				return
+			}
+		} else if !job.Done().WaitTimeout(15 * time.Minute) {
+			t.Error("committed job never completed")
+			return
+		}
+		g.Sim.Sleep(2 * time.Minute) // let cancels and process exits drain
+		assertAccounting(t, g)
+		proveExactCapacity(t, g, ctrl)
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	assertAccounting(t, g)
+}
+
+// TestRestartMachineDuringCommitWait bounces b1 while the agent is
+// blocked inside Commit — the restart lands between the controller's
+// readiness check and the release fan-out.
+func TestRestartMachineDuringCommitWait(t *testing.T) {
+	g, ctrl := restartRig(t)
+	err := g.Sim.Run("agent", func() {
+		job, err := ctrl.Submit(core.Request{Subjobs: []core.SubjobSpec{
+			{Contact: g.Contact("b1"), Count: 4, Executable: "app", Type: core.Required, Label: "b1"},
+			{Contact: g.Contact("b2"), Count: 4, Executable: "app", Type: core.Required, Label: "b2"},
+		}})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		g.Sim.Go("bouncer", func() {
+			if !waitAllCheckedIn(g, job) {
+				return // commit already settled the job
+			}
+			g.Net.Host("b1").Crash()
+			g.Sim.Sleep(time.Second)
+			g.RestartMachine("b1")
+		})
+		// Commit races the bounce; both outcomes are legal, the
+		// accounting afterwards is not negotiable.
+		if _, err := job.Commit(5 * time.Minute); err != nil {
+			if !job.Done().WaitTimeout(15 * time.Minute) {
+				t.Error("aborted job never settled")
+				return
+			}
+		} else if !job.Done().WaitTimeout(15 * time.Minute) {
+			t.Error("committed job never completed")
+			return
+		}
+		g.Sim.Sleep(2 * time.Minute)
+		assertAccounting(t, g)
+		proveExactCapacity(t, g, ctrl)
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	assertAccounting(t, g)
+}

@@ -1,0 +1,26 @@
+package dst
+
+import "testing"
+
+// FuzzCoAllocate is the native-fuzzing entry point to the simulation
+// harness: every fuzz input is a scenario seed, every execution audits
+// the full invariant library. Run with
+//
+//	go test ./internal/dst -fuzz FuzzCoAllocate
+//
+// to hunt continuously; without -fuzz the seed corpus below runs as
+// ordinary subtests.
+func FuzzCoAllocate(f *testing.F) {
+	for _, seed := range []int64{1, 2, 17, 18, 46, 48, 1<<40 + 7} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		res, err := Run(Generate(seed, SmokeProfile), RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: violation: %s (replay: dstgrid -seed %d -smoke)", seed, v, seed)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package dst
+
+import (
+	"fmt"
+	"time"
+
+	"cogrid/internal/core"
+	"cogrid/internal/grid"
+	"cogrid/internal/trace"
+)
+
+// Violation is one broken protocol invariant.
+type Violation struct {
+	// Invariant names the rule: "kernel", "commit-votes",
+	// "single-decision", "required-abort", "abort-no-exec",
+	// "job-quiescence", "leaked-jobs", "processor-conservation",
+	// "orphan-reap", "trace".
+	Invariant string `json:"invariant"`
+	// Job is the co-allocation id, when the violation is per-job.
+	Job    string `json:"job,omitempty"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	if v.Job != "" {
+		return fmt.Sprintf("%s [%s]: %s", v.Invariant, v.Job, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
+
+// observations is everything the checker audits after a run: the grid
+// (machines, counters, tracer), every job the controller accepted with
+// its full event history, the orphan ledger, and the kernel verdict.
+type observations struct {
+	sc       Scenario
+	g        *grid.Grid
+	jobs     []*core.Job
+	deadlock error
+	recorded int64
+	reaped   int64
+}
+
+// checkInvariants runs the whole library. The order of violations is
+// deterministic: per-job checks walk jobs in submission order, machine
+// checks walk names sorted.
+func checkInvariants(o observations) []Violation {
+	var v []Violation
+	if o.deadlock != nil {
+		// A deadlocked kernel means some protocol participant is stuck
+		// forever; the post-run state below is mid-flight, so report only
+		// the deadlock.
+		return append(v, Violation{Invariant: "kernel", Detail: o.deadlock.Error()})
+	}
+	for _, j := range o.jobs {
+		v = append(v, checkJob(j)...)
+	}
+	v = append(v, checkMachines(o)...)
+	if o.recorded != o.reaped {
+		v = append(v, Violation{
+			Invariant: "orphan-reap",
+			Detail:    fmt.Sprintf("%d orphans recorded but %d reaped", o.recorded, o.reaped),
+		})
+	}
+	v = append(v, checkTrace(o)...)
+	return v
+}
+
+// jobView is a job's history digested for the per-job checks.
+type jobView struct {
+	committedAt time.Duration
+	committed   bool
+	abortedAt   time.Duration
+	aborted     bool
+	doneAt      time.Duration
+	done        bool
+	// checkedIn and failed record the first EvCheckedIn / EvSubjobFailed
+	// per subjob label.
+	checkedIn map[string]time.Duration
+	failed    map[string]time.Duration
+}
+
+func digest(hist []core.Event) jobView {
+	w := jobView{
+		checkedIn: map[string]time.Duration{},
+		failed:    map[string]time.Duration{},
+	}
+	for _, ev := range hist {
+		switch ev.Kind {
+		case core.EvCommitted:
+			if !w.committed {
+				w.committed, w.committedAt = true, ev.At
+			}
+		case core.EvAborted:
+			if !w.aborted {
+				w.aborted, w.abortedAt = true, ev.At
+			}
+		case core.EvDone:
+			if !w.done {
+				w.done, w.doneAt = true, ev.At
+			}
+		case core.EvCheckedIn:
+			if _, ok := w.checkedIn[ev.Label]; !ok {
+				w.checkedIn[ev.Label] = ev.At
+			}
+		case core.EvSubjobFailed:
+			if _, ok := w.failed[ev.Label]; !ok {
+				w.failed[ev.Label] = ev.At
+			}
+		}
+	}
+	return w
+}
+
+func checkJob(j *core.Job) []Violation {
+	var v []Violation
+	bad := func(invariant, format string, args ...any) {
+		v = append(v, Violation{Invariant: invariant, Job: j.ID(), Detail: fmt.Sprintf(format, args...)})
+	}
+	hist := j.History()
+	status := j.Status()
+	w := digest(hist)
+
+	// 2PC safety, voting half: the commit decision requires unanimous
+	// check-in from every participant. A subjob deleted before release is
+	// out of the commitment; optional subjobs never vote.
+	if w.committed {
+		for _, si := range status {
+			if si.Spec.Type == core.Optional || si.Status == core.SJDeleted {
+				continue
+			}
+			at, ok := w.checkedIn[si.Spec.Label]
+			if !ok || at > w.committedAt {
+				bad("commit-votes", "committed at %v but %s subjob %s had not checked in",
+					w.committedAt, si.Spec.Type, si.Spec.Label)
+			}
+			if fat, failed := w.failed[si.Spec.Label]; failed && fat < w.committedAt {
+				bad("commit-votes", "committed at %v although %s subjob %s failed at %v",
+					w.committedAt, si.Spec.Type, si.Spec.Label, fat)
+			}
+		}
+	}
+
+	// The commit decision is made at most once, and never after an abort.
+	commits := 0
+	for _, ev := range hist {
+		if ev.Kind == core.EvCommitted {
+			commits++
+		}
+	}
+	if commits > 1 {
+		bad("single-decision", "%d commit decisions", commits)
+	}
+	if w.committed && w.aborted && w.committedAt > w.abortedAt {
+		bad("single-decision", "committed at %v after abort at %v", w.committedAt, w.abortedAt)
+	}
+
+	// A required subjob's failure terminates the whole computation. The
+	// event's own Type is authoritative: substitution may rewrite the
+	// label's spec after the failure.
+	for _, ev := range hist {
+		if ev.Kind == core.EvSubjobFailed && ev.Type == core.Required && !w.aborted {
+			bad("required-abort", "required subjob %s failed but the job never aborted", ev.Label)
+			break
+		}
+	}
+
+	// 2PC safety, abort half: a job aborted before any commit decision
+	// must not have executed — no subjob runs to completion, and every
+	// subjob lands in failed or deleted.
+	if w.aborted && !w.committed {
+		for _, ev := range hist {
+			if ev.Kind == core.EvSubjobDone {
+				bad("abort-no-exec", "subjob %s ran to completion in an aborted job", ev.Label)
+			}
+		}
+		for _, si := range status {
+			if si.Status != core.SJFailed && si.Status != core.SJDeleted {
+				bad("abort-no-exec", "subjob %s is %v after abort", si.Spec.Label, si.Status)
+			}
+		}
+	}
+
+	// Every accepted job reaches a terminal state by quiescence; a
+	// co-allocation stuck mid-2PC forever is a liveness bug.
+	if !j.Done().IsSet() {
+		bad("job-quiescence", "job still live at quiescence")
+	}
+	return v
+}
+
+func checkMachines(o observations) []Violation {
+	var v []Violation
+	batch := map[string]bool{}
+	for _, ms := range o.sc.Machines {
+		batch[ms.Name] = ms.Batch
+	}
+	for _, name := range sortedMachines(o.g) {
+		m := o.g.Machine(name)
+		if n := m.LiveJobs(); n != 0 {
+			v = append(v, Violation{
+				Invariant: "leaked-jobs",
+				Detail:    fmt.Sprintf("machine %s still runs %d jobs at quiescence", name, n),
+			})
+		}
+		if batch[name] {
+			if free, total := m.FreeProcessors(), m.Processors(); free != total {
+				v = append(v, Violation{
+					Invariant: "processor-conservation",
+					Detail:    fmt.Sprintf("machine %s has %d of %d processors free at quiescence", name, free, total),
+				})
+			}
+		}
+	}
+	return v
+}
+
+func checkTrace(o observations) []Violation {
+	events := o.g.Tracer.Events()
+	trace.Sort(events)
+	var v []Violation
+	for _, problem := range trace.Analyze(events).Check() {
+		v = append(v, Violation{Invariant: "trace", Detail: problem})
+	}
+	return v
+}

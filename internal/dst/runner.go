@@ -1,0 +1,444 @@
+package dst
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cogrid/internal/agent"
+	"cogrid/internal/broker"
+	"cogrid/internal/core"
+	"cogrid/internal/failure"
+	"cogrid/internal/gram"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/mds"
+	"cogrid/internal/trace"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+	"cogrid/internal/workload"
+)
+
+// RunOptions tune a single scenario execution.
+type RunOptions struct {
+	// Bugs is forwarded to the controller: the harness's self-test
+	// injects a broken 2PC here and asserts the invariants catch it.
+	Bugs core.Bugs
+}
+
+// RunResult is one scenario execution plus its invariant verdict.
+type RunResult struct {
+	Scenario   Scenario      `json:"scenario"`
+	Violations []Violation   `json:"violations,omitempty"`
+	Jobs       int           `json:"jobs"`
+	Committed  int           `json:"committed"`
+	Aborted    int           `json:"aborted"`
+	Faults     int           `json:"faults"`
+	Orphans    int64         `json:"orphans"`
+	End        time.Duration `json:"end"`
+}
+
+// OK reports whether the run held every invariant.
+func (r RunResult) OK() bool { return len(r.Violations) == 0 }
+
+// reapInterval paces the duroc-driver harness reaper; the broker driver
+// uses the broker's own.
+const reapInterval = 20 * time.Second
+
+// reaper is the duroc driver's stand-in for the broker's orphan reaper:
+// it retries unconfirmed subjob cancels until the resource manager
+// answers, so the no-leaked-processors invariant is checkable in both
+// driver modes.
+type reaper struct {
+	g  *grid.Grid
+	mu sync.Mutex
+	// orphans is swept in sorted key order: concurrent cancel daemons
+	// record in nondeterministic order and the sweep must not leak it.
+	orphans  map[string]core.Orphan
+	recorded int64
+	reaped   int64
+}
+
+func newReaper(g *grid.Grid) *reaper {
+	return &reaper{g: g, orphans: make(map[string]core.Orphan)}
+}
+
+func (r *reaper) add(o core.Orphan) {
+	key := o.Job + "/" + o.Subjob
+	r.mu.Lock()
+	_, known := r.orphans[key]
+	r.orphans[key] = o
+	if !known {
+		r.recorded++
+	}
+	r.mu.Unlock()
+	r.g.Counters.Add(trace.Key("dst", "orphan", "record", "workstation"), 1)
+}
+
+func (r *reaper) run() {
+	for {
+		r.g.Sim.Sleep(reapInterval)
+		r.sweep()
+	}
+}
+
+func (r *reaper) sweep() {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.orphans))
+	for k := range r.orphans {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.mu.Lock()
+		o, ok := r.orphans[k]
+		r.mu.Unlock()
+		if !ok || !r.reapOne(o) {
+			continue
+		}
+		r.mu.Lock()
+		delete(r.orphans, k)
+		r.reaped++
+		r.mu.Unlock()
+		r.g.Counters.Add(trace.Key("dst", "orphan", "reaped", "workstation"), 1)
+	}
+}
+
+func (r *reaper) reapOne(o core.Orphan) bool {
+	cfg := r.g.ClientConfig()
+	cfg.Ctx = o.Ctx.Child("reap")
+	client, err := gram.Dial(r.g.Workstation, o.RM, cfg)
+	if err != nil {
+		return false
+	}
+	defer client.Close()
+	// Cancellation is idempotent at the LRM, so re-cancelling a job the
+	// earlier, unacknowledged attempt already killed is a safe no-op.
+	return client.CancelTimeout(o.JobContact, 10*time.Second) == nil
+}
+
+func (r *reaper) counts() (recorded, reaped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded, r.reaped
+}
+
+// Run executes one scenario on a fresh grid and checks every protocol
+// invariant against the post-quiescence state. Same scenario, same
+// options → byte-identical RunResult.
+func Run(sc Scenario, opts RunOptions) (RunResult, error) {
+	if err := sc.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Scenario: sc, Jobs: len(sc.Jobs)}
+
+	g := grid.New(grid.Options{Seed: sc.Seed, Trace: true})
+	for _, ms := range sc.Machines {
+		mode := lrm.Fork
+		if ms.Batch {
+			mode = lrm.Batch
+		}
+		m := g.AddMachine(ms.Name, ms.Procs, mode)
+		if ms.Batch {
+			workload.RegisterExecutable(m, "bg")
+		}
+	}
+	g.RegisterEverywhere("app", appExecutable(sc.WorkTime))
+
+	// The submit-side peer a partition cuts the machine off from.
+	peer := "workstation"
+	var b *broker.Broker
+	var ctrl *core.Controller
+	var rp *reaper
+	if sc.Driver == DriverBroker {
+		peer = "broker0"
+		dirHost := g.Net.AddHost("mds0")
+		if _, err := mds.NewServer(dirHost, 0); err != nil {
+			return RunResult{}, err
+		}
+		dir := transport.Addr{Host: "mds0", Service: mds.ServiceName}
+		for _, ms := range sc.Machines {
+			mds.Publish(g.Machine(ms.Name), dir, g.Contact(ms.Name), 31*time.Second,
+				publishCounts(sc, ms.Procs)...)
+		}
+		var err error
+		b, err = broker.New(g.Net.AddHost("broker0"), core.ControllerConfig{
+			Credential: g.UserCred,
+			Registry:   g.Registry,
+			Bugs:       opts.Bugs,
+		}, broker.Options{
+			Directory:       dir,
+			QueueBound:      16,
+			Workers:         3,
+			CacheMaxAge:     45 * time.Second,
+			RefreshInterval: 40 * time.Second,
+			RetryAfter:      15 * time.Second,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+	} else {
+		rp = newReaper(g)
+		var err error
+		ctrl, err = core.NewController(g.Workstation, core.ControllerConfig{
+			Credential:    g.UserCred,
+			Registry:      g.Registry,
+			CancelTimeout: 15 * time.Second,
+			OnOrphan:      rp.add,
+			Bugs:          opts.Bugs,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	plan, healBy := materializeFaults(sc.Faults, peer)
+	var maxTime, lastArrival time.Duration
+	for _, j := range sc.Jobs {
+		if j.MaxTime > maxTime {
+			maxTime = j.MaxTime
+		}
+		if j.At > lastArrival {
+			lastArrival = j.At
+		}
+	}
+
+	clientHosts := make([]*transport.Host, len(sc.Jobs))
+	if sc.Driver == DriverBroker {
+		for i := range sc.Jobs {
+			clientHosts[i] = g.Net.AddHost(fmt.Sprintf("client%02d", i))
+		}
+	}
+
+	var mu sync.Mutex
+	err := g.Sim.Run("dst-driver", func() {
+		plan.Apply(g)
+		for _, bg := range sc.Background {
+			workload.Drive(g.Sim, g.Machine(bg.Machine), "bg", []workload.Job{{
+				At: bg.At, Size: bg.Size, Runtime: bg.Runtime, Limit: bg.Limit,
+			}})
+		}
+		if rp != nil {
+			g.Sim.GoDaemon("dst-reaper", rp.run)
+		}
+		wg := vtime.NewWaitGroup(g.Sim)
+		wg.Add(len(sc.Jobs))
+		for i, j := range sc.Jobs {
+			i, j := i, j
+			g.Sim.GoDaemon(fmt.Sprintf("dst-job%02d", i), func() {
+				defer wg.Done()
+				g.Sim.SleepUntil(j.At)
+				committed := false
+				if sc.Driver == DriverBroker {
+					committed = submitBroker(clientHosts[i], b, i, j)
+				} else {
+					committed = submitDuroc(g, ctrl, i, j, sc.WorkTime)
+				}
+				mu.Lock()
+				if committed {
+					res.Committed++
+				} else {
+					res.Aborted++
+				}
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+		// Quiesce: every fault healed, every committed job's work done,
+		// every leaked job's wall limit fired, and two reap intervals so
+		// the reaper observes the healed grid.
+		if now := g.Sim.Now(); now < healBy {
+			g.Sim.SleepUntil(healBy)
+		}
+		g.Sim.Sleep(maxTime + sc.WorkTime + 2*time.Minute)
+	})
+	res.End = g.Sim.Now()
+	res.Faults = len(sc.Faults)
+
+	var jobs []*core.Job
+	if sc.Driver == DriverBroker {
+		jobs = b.Controller().Jobs()
+	} else {
+		jobs = ctrl.Jobs()
+	}
+	var recorded, reaped int64
+	if sc.Driver == DriverBroker {
+		recorded = g.Counters.Get(trace.Key("broker", "orphan", "record", "broker0"))
+		reaped = g.Counters.Get(trace.Key("broker", "orphan", "reaped", "broker0"))
+	} else {
+		recorded, reaped = rp.counts()
+	}
+	res.Orphans = recorded
+
+	res.Violations = checkInvariants(observations{
+		sc:       sc,
+		g:        g,
+		jobs:     jobs,
+		deadlock: err,
+		recorded: recorded,
+		reaped:   reaped,
+	})
+	return res, nil
+}
+
+// appExecutable is the standard instrumented application: attach to the
+// DUROC runtime, check in at the barrier, compute for workTime.
+func appExecutable(workTime time.Duration) lrm.ExecFunc {
+	return func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 24*time.Hour); err != nil {
+			return nil // aborted: exit before doing any work
+		}
+		if workTime > 0 {
+			return p.Work(workTime, time.Second)
+		}
+		return nil
+	}
+}
+
+// publishCounts lists the per-site process counts the MDS forecasts wait
+// times for: every count a broker job might ask for, plus the machine
+// size.
+func publishCounts(sc Scenario, procs int) []int {
+	seen := map[int]bool{procs: true}
+	counts := []int{procs}
+	for _, j := range sc.Jobs {
+		if j.ProcsPerSite > 0 && !seen[j.ProcsPerSite] {
+			seen[j.ProcsPerSite] = true
+			counts = append(counts, j.ProcsPerSite)
+		}
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// materializeFaults expands fault specs into the paired onset+heal
+// actions of a failure plan, and reports when the last heal lands.
+func materializeFaults(faults []FaultSpec, peer string) (failure.Plan, time.Duration) {
+	var plan failure.Plan
+	var healBy time.Duration
+	for _, f := range faults {
+		end := f.At + f.Dur
+		if end > healBy {
+			healBy = end
+		}
+		switch f.Kind {
+		case "hang":
+			plan = append(plan,
+				failure.Action{At: f.At, Kind: failure.HostHang, Target: f.Target},
+				failure.Action{At: end, Kind: failure.HostRestore, Target: f.Target})
+		case "slow":
+			factor := f.Factor
+			if factor < 1 {
+				factor = 10
+			}
+			plan = append(plan,
+				failure.Action{At: f.At, Kind: failure.MachineSlow, Target: f.Target, Factor: factor},
+				failure.Action{At: end, Kind: failure.MachineSlow, Target: f.Target, Factor: 1})
+		case "partition":
+			plan = append(plan,
+				failure.Action{At: f.At, Kind: failure.Partition, Target: peer, Target2: f.Target},
+				failure.Action{At: end, Kind: failure.Heal, Target: peer, Target2: f.Target})
+		case "down":
+			plan = append(plan,
+				failure.Action{At: f.At, Kind: failure.MachineDown, Target: f.Target},
+				failure.Action{At: end, Kind: failure.MachineUp, Target: f.Target})
+		case "crash":
+			plan = append(plan,
+				failure.Action{At: f.At, Kind: failure.HostCrash, Target: f.Target},
+				failure.Action{At: end, Kind: failure.MachineRestart, Target: f.Target})
+		case "revoke":
+			plan = append(plan,
+				failure.Action{At: f.At, Kind: failure.RevokeUser, Target: grid.DefaultUser},
+				failure.Action{At: end, Kind: failure.ReinstateUser, Target: grid.DefaultUser})
+		}
+	}
+	return plan.Sorted(), healBy
+}
+
+// submitDuroc drives one co-allocation through the substitution agent.
+// The pool holds every machine the job does not already use, so
+// interactive failures exercise substitution before dropping subjobs.
+func submitDuroc(g *grid.Grid, ctrl *core.Controller, i int, j JobSpec, workTime time.Duration) bool {
+	used := map[string]bool{}
+	req := core.Request{}
+	for _, sj := range j.Subjobs {
+		used[sj.Machine] = true
+		typ := core.Required
+		switch sj.Type {
+		case "interactive":
+			typ = core.Interactive
+		case "optional":
+			typ = core.Optional
+		}
+		req.Subjobs = append(req.Subjobs, core.SubjobSpec{
+			Contact:        g.Contact(sj.Machine),
+			Count:          sj.Count,
+			Executable:     "app",
+			Type:           typ,
+			MaxTime:        j.MaxTime,
+			StartupTimeout: j.StartupTimeout,
+		})
+	}
+	var pool []transport.Addr
+	for _, name := range sortedMachines(g) {
+		if !used[name] {
+			pool = append(pool, g.Contact(name))
+		}
+	}
+	res, err := agent.WithSubstitution(ctrl, req, agent.SubstituteOptions{
+		Pool:              pool,
+		CommitTimeout:     j.CommitTimeout,
+		DropUnreplaceable: true,
+		Ctx:               trace.NewRequest(fmt.Sprintf("dst/job%02d", i)),
+	})
+	if err != nil {
+		if res.Job != nil && !res.Job.Done().IsSet() {
+			res.Job.Abort("dst: agent gave up")
+		}
+		return false
+	}
+	// Wait (bounded — liveness is an invariant under test, not an
+	// assumption) for the computation itself, so the driver's quiescence
+	// clock starts after the last job finishes, not the last commit.
+	res.Job.Done().WaitTimeout(j.MaxTime + workTime + 3*time.Minute)
+	return true
+}
+
+// submitBroker drives one co-allocation through the broker service.
+func submitBroker(host *transport.Host, b *broker.Broker, i int, j JobSpec) bool {
+	ctx := trace.NewRequest(host.Name())
+	sim := host.Network().Sim()
+	start := sim.Now()
+	c, err := broker.DialCtx(host, b.Contact(), ctx)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	budget := j.CommitTimeout + j.StartupTimeout + 3*time.Minute
+	reply, _, err := c.SubmitWait(broker.Request{
+		Tenant:         j.Tenant,
+		Sites:          j.Sites,
+		ProcsPerSite:   j.ProcsPerSite,
+		Executable:     "app",
+		Spares:         j.Spares,
+		CommitTimeout:  j.CommitTimeout,
+		StartupTimeout: j.StartupTimeout,
+		MaxTime:        j.MaxTime,
+	}, budget, 20)
+	host.Network().Tracer().SpanAtCtx(ctx, "client", "request", host.Name(), j.Tenant, "", start, sim.Now())
+	return err == nil && reply.OK()
+}
+
+// sortedMachines returns the grid's machine names in deterministic order.
+func sortedMachines(g *grid.Grid) []string {
+	names := g.Machines()
+	sort.Strings(names)
+	return names
+}

@@ -217,6 +217,21 @@ func (m *Machine) LiveJobs() int {
 	return live
 }
 
+// FreeProcessors returns the batch scheduler's idle-processor count.
+// Fork-mode machines do not meter processors and always report the full
+// machine size. Once a batch machine is quiescent — no live jobs, no held
+// reservations — the count must equal Processors(); any other value means
+// the allocate/release accounting double-counted somewhere, which is the
+// processor-conservation invariant the simulation-testing harness checks.
+func (m *Machine) FreeProcessors() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mode == Fork {
+		return m.processors
+	}
+	return m.freeProcs
+}
+
 // JobSpec describes one job submission.
 type JobSpec struct {
 	Executable string

@@ -127,7 +127,9 @@ func (l Literal) String() string {
 	// anything else (spaces, syntax characters, arbitrary bytes) must be
 	// quoted to survive a round trip.
 	s := string(l)
-	if s == "" {
+	// A leading '*' must be quoted too: the lexer rejects bare tokens
+	// starting with '*' because "(*" opens a comment.
+	if s == "" || s[0] == '*' {
 		return quote(s)
 	}
 	for i := 0; i < len(s); i++ {

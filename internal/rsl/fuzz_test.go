@@ -45,6 +45,69 @@ func TestParseRoundTripProperty(t *testing.T) {
 	}
 }
 
+// FuzzRSL feeds the parser arbitrary bytes under the native fuzzer. The
+// contract mirrors the quick.Check property above — Parse returns a tree
+// or a *SyntaxError, never panics, and successful parses round-trip
+// through String — but the coverage-guided mutator digs far deeper into
+// the lexer and recursive-descent corners than type-driven randomness.
+// The seed corpus (testdata/fuzz/FuzzRSL) collects malformed specs:
+// unterminated strings, dangling operators, deep nesting, stray bytes.
+func FuzzRSL(f *testing.F) {
+	seeds := []string{
+		// well-formed anchors for the mutator
+		`&(executable=app)(count=2)`,
+		`+(&(resourceManagerContact=m01:gram)(count=8)(executable=a1)(subjobStartType=required))`,
+		`|(&(a=1))(&(a=2))`,
+		`&(env=(DUROC_JOB j1)(DUROC_SUBJOB sj0))`,
+		`&(s="()&|+=<>!")`,
+		// malformed specs
+		``,
+		`&`,
+		`&(`,
+		`&(a`,
+		`&(a=`,
+		`&(a=1`,
+		`&(a=1))`,
+		`&(a=")`,
+		`&(a="unterminated`,
+		`&(=1)`,
+		`&(a==1)`,
+		`&(a=1)(`,
+		`+()`,
+		`|`,
+		`((((((((((`,
+		`&(a=((((((((((1))))))))))`,
+		`&(a=1)&(b=2)`,
+		`&(a = "x" y)`,
+		`&(a=#comment)`,
+		"&(a=1)\x00",
+		"&(a=\xff\xfe)",
+		`&(count=-0x7fffffffffffffff)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		node, err := Parse(src)
+		if err != nil {
+			if _, isSyntax := err.(*SyntaxError); !isSyntax {
+				t.Fatalf("Parse(%q): non-SyntaxError %T: %v", src, err, err)
+			}
+			return
+		}
+		if node == nil {
+			t.Fatalf("Parse(%q): nil tree without error", src)
+		}
+		again, err := Parse(node.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed to parse %q: %v", src, node.String(), err)
+		}
+		if !Equal(node, again) {
+			t.Fatalf("round trip of %q changed the tree: %q", src, node.String())
+		}
+	})
+}
+
 // A grab bag of strange-but-valid inputs, ensuring the lexer's token
 // classes stay stable.
 func TestParseOddButValid(t *testing.T) {

@@ -148,6 +148,12 @@ func (l *lexer) next() (token, error) {
 		return l.lexVarRef()
 	}
 	if isTokenChar(c) {
+		// '*' may appear inside a token (a*b) but not start one: after a
+		// '(' the sequence "(*" always opens a comment, so a leading '*'
+		// could never be printed back unambiguously.
+		if c == '*' {
+			return token{}, errAt(start, "token may not start with '*'")
+		}
 		end := l.pos
 		for end < len(l.src) && isTokenChar(l.src[end]) {
 			end++

@@ -50,7 +50,10 @@ func (p *parser) parseSpec() (Node, error) {
 		return p.parseBoolean(Or)
 	case tokPlus:
 		return p.parseBoolean(Multi)
-	case tokToken, tokString:
+	case tokToken:
+		// Attribute names are bare identifiers only; a quoted string here
+		// would allow attributes (e.g. "") that Relation.String cannot
+		// print back into parseable form.
 		return p.parseRelation()
 	}
 	return nil, errAt(p.tok.pos, "expected '&', '|', '+' or a relation, found %s", p.tok.kind)
