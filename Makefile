@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke cover
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke cover bench-snapshot bench-check
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -44,6 +44,17 @@ trace-smoke:
 # See TESTING.md for the seed-replay workflow.
 dst-smoke:
 	$(GO) run ./cmd/dstgrid -seeds 200 -smoke
+
+# Re-measure the performance baseline: full 1s-per-bench suite plus the
+# deterministic scenario, written to BENCH_grid.json. Commit the result
+# when a perf change is intentional.
+bench-snapshot:
+	$(GO) run ./cmd/perfgrid -out BENCH_grid.json
+
+# Fast perf regression check against the committed baseline: smoke-length
+# benches, report-only unless STRICT_BENCH=1 (then >20% ns/op fails).
+bench-check:
+	$(GO) run ./cmd/perfgrid -smoke -compare BENCH_grid.json
 
 # Total statement coverage across all packages. check.sh warns (but
 # does not fail) when the total drops below its floor.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"cogrid/internal/experiments"
+	"cogrid/internal/perf"
 	"cogrid/internal/trace"
 )
 
@@ -42,7 +43,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
 	smoke := flag.Bool("smoke", false, "shrink the broker study to a tiny smoke-test configuration")
 	analyze := flag.String("analyze", "", "read a JSONL trace and print the causal critical-path report instead of running experiments")
+	metricsPath := flag.String("metrics-out", "", "run the deterministic perf scenario and write its full metric registry (counters, gauges, histograms) in Prometheus text format")
 	flag.Parse()
+
+	if *metricsPath != "" {
+		if err := metricsOut(*metricsPath, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgrid:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *analyze != "" {
 		if err := analyzeTrace(*analyze); err != nil {
@@ -120,6 +130,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgrid: nothing to do")
 		os.Exit(2)
 	}
+}
+
+// metricsOut runs the perf package's deterministic broker-load scenario
+// and writes the resulting grid's Prometheus exposition — the same series
+// cmd/perfgrid snapshots into BENCH_grid.json. "-" writes to stdout.
+func metricsOut(path string, seed int64) error {
+	_, g, row := perf.RunScenario(seed)
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteMetrics(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchgrid: scenario seed %d: %d/%d completed, throughput %.2f/min\n",
+		seed, row.Completed, row.Requests, row.ThroughputPerMin)
+	return nil
 }
 
 // emitJSON runs the selected experiments and marshals their structured

@@ -56,28 +56,8 @@ func runChaosDemo(opts runOptions) error {
 		fmt.Printf("latency:         p50 %v, p99 %v\n", row.P50, row.P99)
 	}
 
-	if opts.TraceW != nil {
-		if err := g.Tracer.WriteChromeTrace(opts.TraceW); err != nil {
-			return fmt.Errorf("write trace: %v", err)
-		}
-	}
-	if opts.JSONLW != nil {
-		if err := g.Tracer.WriteJSONL(opts.JSONLW); err != nil {
-			return fmt.Errorf("write jsonl trace: %v", err)
-		}
-	}
-	if opts.CountersW != nil {
-		fmt.Fprintln(opts.CountersW, "\ncounters:")
-		fmt.Fprint(opts.CountersW, g.Counters.String())
-	}
-	if opts.GaugesW != nil {
-		step := opts.GaugeStep
-		if step <= 0 {
-			step = 5 * time.Second
-		}
-		if err := g.Gauges.Series(step, g.Sim.Now()).WriteCSV(opts.GaugesW); err != nil {
-			return fmt.Errorf("write gauges: %v", err)
-		}
+	if err := writeOutputs(g, opts); err != nil {
+		return err
 	}
 	if row.LeakedJobs != 0 || row.OrphansRecorded != row.OrphansReaped {
 		return fmt.Errorf("chaos demo leaked: %d live jobs, orphans %d/%d",

@@ -118,6 +118,7 @@ func main() {
 	counters := flag.Bool("counters", false, "print the event-counter registry after the run")
 	gaugesPath := flag.String("gauges", "", "write the virtual-time gauge series (queue depth, outstanding 2PC, busy processors, orphans) as CSV")
 	gaugeStep := flag.Duration("gauge-step", 5*time.Second, "sampling cadence for -gauges")
+	metricsPath := flag.String("metrics-out", "", "write counters, gauges, and latency histograms in Prometheus text format after the run")
 	flag.Parse()
 
 	scenarioPath := *file
@@ -152,6 +153,14 @@ func main() {
 		defer f.Close()
 		opts.GaugesW = f
 		opts.GaugeStep = *gaugeStep
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.MetricsW = f
 	}
 
 	if *brokerDemo {
@@ -232,6 +241,45 @@ type runOptions struct {
 	// sampled every GaugeStep.
 	GaugesW   io.Writer
 	GaugeStep time.Duration
+	// MetricsW, when set, receives the full metric registry — counters,
+	// gauges, and latency histograms — in Prometheus text format.
+	MetricsW io.Writer
+}
+
+// writeOutputs emits the selected observability outputs of a finished run.
+// It is shared by the scenario runner and the built-in demos, and runs
+// even when the scenario failed — a trace of a failed co-allocation is
+// exactly what one wants to read.
+func writeOutputs(g *grid.Grid, opts runOptions) error {
+	if opts.TraceW != nil {
+		if err := g.Tracer.WriteChromeTrace(opts.TraceW); err != nil {
+			return fmt.Errorf("write trace: %v", err)
+		}
+	}
+	if opts.JSONLW != nil {
+		if err := g.Tracer.WriteJSONL(opts.JSONLW); err != nil {
+			return fmt.Errorf("write jsonl trace: %v", err)
+		}
+	}
+	if opts.CountersW != nil {
+		fmt.Fprintln(opts.CountersW, "\ncounters:")
+		fmt.Fprint(opts.CountersW, g.Counters.String())
+	}
+	if opts.GaugesW != nil {
+		step := opts.GaugeStep
+		if step <= 0 {
+			step = 5 * time.Second
+		}
+		if err := g.Gauges.Series(step, g.Sim.Now()).WriteCSV(opts.GaugesW); err != nil {
+			return fmt.Errorf("write gauges: %v", err)
+		}
+	}
+	if opts.MetricsW != nil {
+		if err := g.WriteMetrics(opts.MetricsW); err != nil {
+			return fmt.Errorf("write metrics: %v", err)
+		}
+	}
+	return nil
 }
 
 func run(sc Scenario) error { return runWith(sc, runOptions{}) }
@@ -240,7 +288,7 @@ func runWith(sc Scenario, opts runOptions) error {
 	g := grid.New(grid.Options{
 		Seed:           sc.Seed,
 		RecordTimeline: sc.Timeline,
-		Trace:          opts.TraceW != nil || opts.JSONLW != nil || opts.CountersW != nil || opts.GaugesW != nil,
+		Trace:          opts.TraceW != nil || opts.JSONLW != nil || opts.CountersW != nil || opts.GaugesW != nil || opts.MetricsW != nil,
 	})
 	for _, m := range sc.Machines {
 		mode := lrm.Fork
@@ -360,30 +408,8 @@ func runWith(sc Scenario, opts runOptions) error {
 			fmt.Print(g.Timeline.Render(96))
 		}
 	})
-	// Observability outputs are written even when the scenario failed —
-	// a trace of a failed co-allocation is exactly what one wants to read.
-	if opts.TraceW != nil {
-		if err := g.Tracer.WriteChromeTrace(opts.TraceW); err != nil {
-			return fmt.Errorf("write trace: %v", err)
-		}
-	}
-	if opts.JSONLW != nil {
-		if err := g.Tracer.WriteJSONL(opts.JSONLW); err != nil {
-			return fmt.Errorf("write jsonl trace: %v", err)
-		}
-	}
-	if opts.CountersW != nil {
-		fmt.Fprintln(opts.CountersW, "\ncounters:")
-		fmt.Fprint(opts.CountersW, g.Counters.String())
-	}
-	if opts.GaugesW != nil {
-		step := opts.GaugeStep
-		if step <= 0 {
-			step = 5 * time.Second
-		}
-		if err := g.Gauges.Series(step, g.Sim.Now()).WriteCSV(opts.GaugesW); err != nil {
-			return fmt.Errorf("write gauges: %v", err)
-		}
+	if err := writeOutputs(g, opts); err != nil {
+		return err
 	}
 	if simErr != nil {
 		return simErr

@@ -299,9 +299,10 @@ func (b *Broker) OrphansPending() int {
 	return len(b.orphans)
 }
 
-func (b *Broker) tracer() *trace.Tracer     { return b.host.Network().Tracer() }
-func (b *Broker) counters() *trace.Counters { return b.host.Network().Counters() }
-func (b *Broker) gauges() *metrics.GaugeSet { return b.host.Network().Gauges() }
+func (b *Broker) tracer() *trace.Tracer        { return b.host.Network().Tracer() }
+func (b *Broker) counters() *trace.Counters    { return b.host.Network().Counters() }
+func (b *Broker) gauges() *metrics.GaugeSet    { return b.host.Network().Gauges() }
+func (b *Broker) hists() *metrics.HistogramSet { return b.host.Network().Hists() }
 
 // count increments broker.object.verb@<broker-host>.
 func (b *Broker) count(object, verb string, delta int64) {
@@ -474,6 +475,8 @@ func (b *Broker) worker() {
 func (b *Broker) serve(t *ticket) {
 	req := t.req
 	dequeuedAt := b.sim.Now()
+	// Admission wait: enqueue-to-worker-pickup latency under fair queueing.
+	b.hists().H("broker.admission.wait").Record(int64(dequeuedAt - t.enqueuedAt))
 	b.count("queue", "dequeue", 1)
 	b.tracer().SpanAtCtx(t.ctx.Child("queue-wait"), "broker", "queue-wait", b.host.Name(), req.Tenant, b.corr(t),
 		t.enqueuedAt, dequeuedAt)
@@ -534,6 +537,8 @@ func (b *Broker) serve(t *ticket) {
 	}
 
 	reply.Elapsed = b.sim.Now() - t.enqueuedAt
+	// End-to-end broker-side request latency, all outcomes.
+	b.hists().H("broker.request.latency").Record(int64(reply.Elapsed))
 	outcome := "ok"
 	switch {
 	case abandoned:
@@ -583,6 +588,7 @@ func (b *Broker) attempt(t *ticket, attempt int, deadline time.Duration) (agent.
 	candidates := agent.SelectByForecast(records, req.ProcsPerSite, want, 0, nil)
 	attemptCtx := t.ctx.Child("attempt" + strconv.Itoa(attempt))
 	finish := func(outcome string) {
+		b.hists().H("broker.attempt.latency").Record(int64(b.sim.Now() - start))
 		b.tracer().SpanCtx(attemptCtx, "broker", "attempt", b.host.Name(), req.Tenant, b.corr(t), start,
 			trace.Arg{Key: "n", Val: strconv.Itoa(attempt)},
 			trace.Arg{Key: "outcome", Val: outcome})

@@ -296,6 +296,9 @@ func (c *Controller) record(ctx trace.Ctx, actor, phase string, start, end time.
 	if c.cfg.Timeline != nil {
 		c.cfg.Timeline.Add(actor, phase, start, end)
 	}
+	// Per-phase 2PC leg latency distribution (submit, startup-wait,
+	// barrier): the histogram counterpart of the Figure 5 timeline spans.
+	c.hists().H("core.2pc." + phase).Record(int64(end - start))
 	c.host.Network().Tracer().SpanAtCtx(ctx.Child(trace.Seg(phase)), "duroc", phase, c.host.Name(), actor, "", start, end)
 }
 
@@ -307,3 +310,6 @@ func (c *Controller) counters() *trace.Counters { return c.host.Network().Counte
 
 // gauges returns the network's gauge registry (nil-safe).
 func (c *Controller) gauges() *metrics.GaugeSet { return c.host.Network().Gauges() }
+
+// hists returns the network's histogram registry (nil-safe).
+func (c *Controller) hists() *metrics.HistogramSet { return c.host.Network().Hists() }

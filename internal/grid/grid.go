@@ -6,6 +6,7 @@ package grid
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"cogrid/internal/gram"
@@ -56,6 +57,7 @@ type Grid struct {
 	Tracer      *trace.Tracer
 	Counters    *trace.Counters
 	Gauges      *metrics.GaugeSet
+	Hists       *metrics.HistogramSet
 
 	opts     Options
 	machines map[string]*lrm.Machine
@@ -95,9 +97,18 @@ func New(opts Options) *Grid {
 		g.Tracer = trace.New(sim)
 		g.Counters = trace.NewCounters()
 		g.Gauges = metrics.NewGaugeSet(sim)
+		g.Hists = metrics.NewHistogramSet()
 		net.SetTracer(g.Tracer)
 		net.SetCounters(g.Counters)
 		net.SetGauges(g.Gauges)
+		net.SetHists(g.Hists)
+		// Kernel probes: timer lead times and dispatch batch sizes land in
+		// the same registry as the layer histograms. Histogram recording is
+		// atomic-only, so it is safe under the kernel lock.
+		sim.SetStats(vtime.KernelStats{
+			TimerLead:     g.Hists.H("vtime.timer.lead"),
+			DispatchBatch: g.Hists.H("vtime.dispatch.batch"),
+		})
 	}
 	nisHost := net.AddHost("nis0")
 	srv, err := nis.NewServer(nisHost, opts.NISServiceTime)
@@ -205,4 +216,20 @@ func (g *Grid) ClientConfig() gram.ClientConfig {
 // Dial opens an authenticated GRAM connection from the workstation.
 func (g *Grid) Dial(machine string) (*gram.Client, error) {
 	return gram.Dial(g.Workstation, g.Contact(machine), g.ClientConfig())
+}
+
+// WriteMetrics writes every counter, gauge, and histogram the run
+// collected in Prometheus text format. Gauges are sampled at the current
+// virtual time. The output is deterministic for a fixed seed; without
+// Options.Trace all registries are empty and the exposition is too.
+func (g *Grid) WriteMetrics(w io.Writer) error {
+	snap := metrics.PromSnapshot{
+		Gauges:  g.Gauges,
+		GaugeAt: g.Sim.Now(),
+		Hists:   g.Hists,
+	}
+	for _, cv := range g.Counters.Snapshot() {
+		snap.Counters = append(snap.Counters, metrics.NamedValue{Name: cv.Name, Value: cv.Value})
+	}
+	return metrics.WritePrometheus(w, snap)
 }

@@ -261,6 +261,7 @@ type Job struct {
 	done     *vtime.Event
 	events   *vtime.Chan[JobState]
 	startRes *Reservation
+	queuedAt time.Duration // when the job was accepted by Submit
 	startAt  time.Duration // when the job became active
 	resumeEv *vtime.Event  // non-nil while suspended
 }
@@ -416,6 +417,7 @@ func (m *Machine) Submit(spec JobSpec) (*Job, error) {
 		kill:     vtime.NewEvent(m.sim, "kill"),
 		done:     vtime.NewEvent(m.sim, "done"),
 		startRes: res,
+		queuedAt: m.sim.Now(),
 	}
 	job.events = vtime.NewChan[JobState](m.sim, "job-events:"+job.id, 16)
 	m.jobs[job.id] = job
@@ -462,7 +464,11 @@ func (m *Machine) launch(job *Job) {
 	}
 	job.liveProcs = job.spec.Count
 	job.startAt = m.sim.Now()
+	queuedAt := job.queuedAt
 	job.mu.Unlock()
+	// Queue service wait: accept-to-launch latency. In fork mode this is
+	// the fork cost; in batch mode it includes FCFS/backfill queueing.
+	m.host.Network().Hists().H("lrm.queue.wait").Record(int64(m.sim.Now() - queuedAt))
 	// Per-machine utilization gauge: processors busy running application
 	// processes. Decremented symmetrically when finishJob releases them.
 	m.host.Network().Gauges().G("lrm.busy@" + m.host.Name()).Add(float64(job.spec.Count))
@@ -534,7 +540,13 @@ func (m *Machine) finishJob(job *Job, state JobState, reason string) {
 	wasPending := job.state == StatePending
 	release := !job.released && !wasPending
 	job.released = true
+	startAt := job.startAt
 	job.mu.Unlock()
+
+	if release {
+		// Launch-to-terminal service time of jobs that actually ran.
+		m.host.Network().Hists().H("lrm.job.service").Record(int64(m.sim.Now() - startAt))
+	}
 
 	if wasPending {
 		m.mu.Lock()

@@ -92,6 +92,16 @@ func (g *Gauge) Add(d float64) {
 	g.mu.Unlock()
 }
 
+// Value returns the gauge value at virtual time t: the sum of all deltas
+// stamped at or before t. Order-independent within an instant, so sampling
+// at a fixed t is deterministic for same-seed runs. Nil-safe.
+func (g *Gauge) Value(t time.Duration) float64 {
+	if g == nil {
+		return 0
+	}
+	return g.at(t)
+}
+
 // at returns the gauge value at time t: the sum of deltas stamped <= t.
 func (g *Gauge) at(t time.Duration) float64 {
 	g.mu.Lock()

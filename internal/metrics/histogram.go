@@ -1,0 +1,292 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-memory, log-bucketed (HDR-style) histogram of
+// non-negative int64 samples — latencies in nanoseconds, message sizes in
+// bytes, batch sizes in events. The bucket scheme is log-linear: values
+// below histSubCount are recorded exactly; above that, each power-of-two
+// octave is split into histSubCount linear sub-buckets, so any recorded
+// value is reproduced by a percentile query within a relative error of
+// 1/histSubCount (3.125%). The full int64 range fits in histBuckets
+// buckets of 8 bytes each (~15 KiB), allocated once.
+//
+// Record is allocation-free and lock-free: one atomic add into the bucket
+// array plus atomic count/sum/min/max maintenance, safe for concurrent
+// writers (TestHistogramRecordAllocs and BenchmarkHistogramRecord prove
+// 0 allocs/op). Merge and all queries are also safe concurrently with
+// writers; queries see a near-point-in-time view.
+//
+// All methods are nil-safe: a nil *Histogram records nothing and reports
+// zeros, so call sites never need a guard — the same convention as
+// trace.Counter and Gauge.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+const (
+	// histSubBits fixes the sub-bucket resolution: 2^histSubBits linear
+	// sub-buckets per octave.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits // 32: ≤3.125% relative error
+
+	// histBuckets covers [0, 2^63): histSubCount exact buckets plus
+	// histSubCount sub-buckets for each of the 63-histSubBits octaves
+	// above them.
+	histBuckets = histSubCount + histSubCount*(63-histSubBits)
+)
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	// Values in [histSubCount·2^t, 2·histSubCount·2^t) land in octave t
+	// with linear sub-bucket width 2^t.
+	t := bits.Len64(uint64(v)) - histSubBits - 1
+	return histSubCount*t + int(v>>uint(t))
+}
+
+// bucketBounds returns the lowest and highest value mapping to bucket i.
+func bucketBounds(i int) (low, high int64) {
+	if i < histSubCount {
+		return int64(i), int64(i)
+	}
+	t := i/histSubCount - 1
+	r := int64(i - histSubCount*t)
+	return r << uint(t), ((r + 1) << uint(t)) - 1
+}
+
+// Record adds one sample. Negative samples are clamped to zero (virtual
+// time never runs backwards; a negative duration is a caller bug we keep
+// visible in the zero bucket rather than dropping). Nil-safe, 0 allocs/op.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMin(&h.min, v)
+	atomicMax(&h.max, v)
+}
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the exact sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile answers an exact-rank percentile query: it locates the sample
+// of 1-based rank ceil(p·n) — no interpolation between neighbours — and
+// returns the upper bound of its bucket, clamped into [Min, Max]. The
+// rank selection is exact; only the returned value is quantized, to
+// within 3.125% above the true sample. p ≤ 0 yields Min, p ≥ 1 yields
+// Max, and an empty histogram yields 0.
+func (h *Histogram) Quantile(p float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += int64(c)
+		if seen >= rank {
+			_, high := bucketBounds(i)
+			if min := h.min.Load(); high < min {
+				high = min
+			}
+			if max := h.max.Load(); high > max {
+				high = max
+			}
+			return high
+		}
+	}
+	return h.Max() // racing writers: fall back to the observed maximum
+}
+
+// Merge folds every sample recorded in o into h. Merging is deterministic:
+// the merged bucket counts depend only on the two operands, never on
+// recording order, so merging shard histograms yields byte-identical
+// exports run to run. Nil-safe in both positions.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	var added, sum int64
+	for i := 0; i < histBuckets; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+			added += int64(c)
+		}
+	}
+	if added == 0 {
+		return
+	}
+	sum = o.sum.Load()
+	h.count.Add(added)
+	h.sum.Add(sum)
+	atomicMin(&h.min, o.min.Load())
+	atomicMax(&h.max, o.max.Load())
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count samples
+// fell in [Low, High].
+type HistogramBucket struct {
+	Low   int64
+	High  int64
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order — the
+// exposition surface WritePrometheus cumulates into le-bounds.
+func (h *Histogram) Buckets() []HistogramBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HistogramBucket
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c != 0 {
+			low, high := bucketBounds(i)
+			out = append(out, HistogramBucket{Low: low, High: high, Count: c})
+		}
+	}
+	return out
+}
+
+// HistogramSet is a registry of named histograms, the distribution
+// counterpart of trace.Counters: layers look their histogram up once (or
+// per event — the lookup is one read-locked map access) and Record on the
+// returned handle. Names follow the layer.object.noun convention, with
+// latency-valued histograms recording virtual nanoseconds. A nil
+// *HistogramSet is a valid no-op registry.
+type HistogramSet struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramSet creates an empty registry.
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{m: make(map[string]*Histogram)}
+}
+
+// H returns the histogram named name, creating it on first use. Returns
+// nil on a nil registry; the nil histogram accepts Record as a no-op.
+func (s *HistogramSet) H(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	h, ok := s.m[name]
+	s.mu.RUnlock()
+	if ok {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok = s.m[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	s.m[name] = h
+	return h
+}
+
+// Names returns the registered histogram names, sorted.
+func (s *HistogramSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.m))
+	for n := range s.m {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -152,31 +152,70 @@ type Summary struct {
 }
 
 // Summarize computes descriptive statistics. An empty sample yields zeros.
+// Callers that need several percentile queries over the same data should
+// build a Sample once instead: Summarize sorts on every call.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
+	return NewSample(xs).Summary()
+}
+
+// Sample is an immutable set of observations sorted once at construction,
+// so repeated Percentile and Summary queries cost a lookup rather than a
+// fresh copy-and-sort of the raw data. For fixed-memory streaming
+// aggregation use Histogram instead; Sample keeps the exact values and the
+// exclusive-percentile convention the experiment tables are locked to.
+type Sample struct {
+	sorted []float64
+	mean   float64
+	stddev float64
+}
+
+// NewSample copies and sorts xs. The input slice is not retained.
+func NewSample(xs []float64) *Sample {
+	s := &Sample{sorted: append([]float64(nil), xs...)}
+	sort.Float64s(s.sorted)
+	if len(s.sorted) == 0 {
+		return s
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	sum := 0.0
-	for _, x := range sorted {
+	for _, x := range s.sorted {
 		sum += x
 	}
-	mean := sum / float64(len(sorted))
+	s.mean = sum / float64(len(s.sorted))
 	ss := 0.0
-	for _, x := range sorted {
-		d := x - mean
+	for _, x := range s.sorted {
+		d := x - s.mean
 		ss += d * d
 	}
+	s.stddev = math.Sqrt(ss / float64(len(s.sorted)))
+	return s
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.sorted) }
+
+// Percentile returns the p-quantile under the exclusive-interpolation
+// convention (see percentile). Zero on an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return percentile(s.sorted, p)
+}
+
+// Summary returns the descriptive statistics of the sample.
+func (s *Sample) Summary() Summary {
+	if len(s.sorted) == 0 {
+		return Summary{}
+	}
 	return Summary{
-		N:      len(sorted),
-		Mean:   mean,
-		Min:    sorted[0],
-		Max:    sorted[len(sorted)-1],
-		P50:    percentile(sorted, 0.50),
-		P95:    percentile(sorted, 0.95),
-		P99:    percentile(sorted, 0.99),
-		Stddev: math.Sqrt(ss / float64(len(sorted))),
+		N:      len(s.sorted),
+		Mean:   s.mean,
+		Min:    s.sorted[0],
+		Max:    s.sorted[len(s.sorted)-1],
+		P50:    percentile(s.sorted, 0.50),
+		P95:    percentile(s.sorted, 0.95),
+		P99:    percentile(s.sorted, 0.99),
+		Stddev: s.stddev,
 	}
 }
 

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cogrid/internal/vtime"
+)
+
+func promFixture(sim *vtime.Sim) PromSnapshot {
+	gs := NewGaugeSet(sim)
+	gs.G("broker.queue_depth@b0").Add(3)
+	gs.G("lrm.busy@m1").Add(7)
+	hs := NewHistogramSet()
+	h := hs.H("rpc.call.latency")
+	for _, v := range []int64{10, 20, 100, 5000} {
+		h.Record(v)
+	}
+	return PromSnapshot{
+		Counters: []NamedValue{
+			{Name: "rpc.call.ok@workstation", Value: 12},
+			{Name: "rpc.call.ok@m1", Value: 4},
+			{Name: "transport.msgs.send@m1", Value: 99},
+		},
+		Gauges:  gs,
+		GaugeAt: sim.Now(),
+		Hists:   hs,
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	sim := vtime.New()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture(sim)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE cogrid_rpc_call_ok counter",
+		`cogrid_rpc_call_ok{scope="m1"} 4`,
+		`cogrid_rpc_call_ok{scope="workstation"} 12`,
+		`cogrid_transport_msgs_send{scope="m1"} 99`,
+		"# TYPE cogrid_broker_queue_depth gauge",
+		`cogrid_broker_queue_depth{scope="b0"} 3`,
+		`cogrid_lrm_busy{scope="m1"} 7`,
+		"# TYPE cogrid_rpc_call_latency histogram",
+		`cogrid_rpc_call_latency_bucket{le="+Inf"} 4`,
+		"cogrid_rpc_call_latency_sum 5130",
+		"cogrid_rpc_call_latency_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One # TYPE header per family, with scoped samples contiguous.
+	if strings.Count(out, "# TYPE cogrid_rpc_call_ok counter") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+	// Histogram buckets must be cumulative and end at the count.
+	if !strings.Contains(out, `cogrid_rpc_call_latency_bucket{le="10"} 1`) {
+		t.Fatalf("missing first cumulative bucket:\n%s", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	sim := vtime.New()
+	snap := promFixture(sim)
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("repeated exposition writes differ")
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, PromSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot produced output: %q", buf.String())
+	}
+}
+
+func TestGaugeValue(t *testing.T) {
+	sim := vtime.New()
+	gs := NewGaugeSet(sim)
+	g := gs.G("q")
+	g.Add(2)
+	g.Add(3)
+	if got := g.Value(0); got != 5 {
+		t.Fatalf("Value(0) = %v, want 5", got)
+	}
+	var nilG *Gauge
+	if nilG.Value(time.Second) != 0 {
+		t.Fatal("nil gauge Value must be 0")
+	}
+}
+
+func TestGaugeSetConcurrentWriters(t *testing.T) {
+	// Under -race: concurrent G lookups and Adds across goroutines must be
+	// safe, and the delta sum must come out exact.
+	sim := vtime.New()
+	gs := NewGaugeSet(sim)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				gs.G("shared").Add(1)
+				gs.G("shared").Add(-1)
+				gs.G("counted").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := gs.G("shared").Value(0); got != 0 {
+		t.Fatalf("shared gauge = %v, want 0", got)
+	}
+	if got := gs.G("counted").Value(0); got != writers*perWriter {
+		t.Fatalf("counted gauge = %v, want %d", got, writers*perWriter)
+	}
+}
+
+func TestSampleMatchesSummarize(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3, 9, 7}
+	s := NewSample(xs)
+	if s.Summary() != Summarize(xs) {
+		t.Fatal("Sample.Summary must equal Summarize")
+	}
+	// Repeated percentile queries reuse the cached sort.
+	if s.Percentile(0) != 1 || s.Percentile(1) != 9 {
+		t.Fatalf("Percentile endpoints wrong: %v %v", s.Percentile(0), s.Percentile(1))
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", s.N(), len(xs))
+	}
+	empty := NewSample(nil)
+	if empty.Percentile(0.5) != 0 || empty.Summary() != (Summary{}) {
+		t.Fatal("empty sample must report zeros")
+	}
+	// The input slice must not be mutated (Summarize's historical contract).
+	if xs[0] != 5 {
+		t.Fatal("NewSample mutated its input")
+	}
+}

@@ -1,0 +1,97 @@
+package perf
+
+import (
+	"time"
+
+	"cogrid/internal/experiments"
+	"cogrid/internal/grid"
+)
+
+// scenarioConfig is the fixed broker-load setting the scenario series
+// measure: small enough to finish in well under a second of real time,
+// loaded enough to exercise admission queueing, the MDS cache, DUROC 2PC,
+// and every instrumented layer underneath.
+func scenarioConfig(seed int64) experiments.BrokerLoadConfig {
+	return experiments.BrokerLoadConfig{
+		Machines:     3,
+		MachineSize:  16,
+		Sites:        2,
+		ProcsPerSite: 4,
+		Workers:      2,
+		WorkTime:     30 * time.Second,
+		Requests:     8,
+		Tenants:      2,
+		Seed:         seed,
+	}
+}
+
+// scenarioRate and scenarioQueueBound pin the open-loop row the scenario
+// runs: 6 requests/min against an 8-deep admission queue.
+const (
+	scenarioRate       = 6.0
+	scenarioQueueBound = 8
+)
+
+// RunScenario executes the deterministic broker-load scenario and distills
+// it into "scenario" series: the client-observed row, kernel throughput
+// counters, and per-layer latency quantiles read from the run's histogram
+// registry. Every value is a virtual-time quantity, so for a fixed seed
+// the returned series — and the grid's Prometheus exposition — are
+// byte-stable run to run. The grid is returned so callers can export its
+// registries (cmd/perfgrid -prom, benchgrid -metrics-out).
+func RunScenario(seed int64) ([]Series, *grid.Grid, experiments.BrokerLoadRow) {
+	if seed == 0 {
+		seed = 1
+	}
+	row, g := experiments.BrokerLoadRun(scenarioConfig(seed), scenarioRate, scenarioQueueBound)
+
+	series := []Series{
+		{
+			Name: "scenario.broker.load",
+			Kind: "scenario",
+			N:    row.Requests,
+			Values: map[string]float64{
+				"completed":          float64(row.Completed),
+				"failed":             float64(row.Failed),
+				"rejects":            float64(row.Rejects),
+				"retries":            float64(row.Retries),
+				"cache_hits":         float64(row.CacheHits),
+				"throughput_per_min": row.ThroughputPerMin,
+				"p50_ms":             float64(row.P50) / float64(time.Millisecond),
+				"p99_ms":             float64(row.P99) / float64(time.Millisecond),
+			},
+		},
+		{
+			Name: "scenario.vtime.kernel",
+			Kind: "scenario",
+			N:    1,
+			Values: map[string]float64{
+				"timers_fired":     float64(g.Sim.TimersFired()),
+				"net_messages":     float64(g.Net.Messages()),
+				"net_bytes":        float64(g.Net.Bytes()),
+				"final_virtual_ms": float64(g.Sim.Now()) / float64(time.Millisecond),
+			},
+		},
+	}
+	// One series per populated layer histogram, in sorted-name order.
+	for _, name := range g.Hists.Names() {
+		h := g.Hists.H(name)
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		series = append(series, Series{
+			Name: "scenario.hist." + name,
+			Kind: "scenario",
+			N:    int(n),
+			Values: map[string]float64{
+				"p50_ns":  float64(h.Quantile(0.50)),
+				"p90_ns":  float64(h.Quantile(0.90)),
+				"p99_ns":  float64(h.Quantile(0.99)),
+				"max_ns":  float64(h.Max()),
+				"mean_ns": h.Mean(),
+			},
+		})
+	}
+	return series, g, row
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"cogrid/internal/metrics"
 	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
@@ -81,6 +82,10 @@ type Client struct {
 	pending map[uint64]*vtime.Chan[envelope]
 	closed  bool
 
+	// hCall receives every call's virtual round-trip latency (all
+	// outcomes, so timeouts shape the tail). Nil without a registry.
+	hCall *metrics.Histogram
+
 	notifications *vtime.Chan[Notification]
 }
 
@@ -90,6 +95,7 @@ func NewClient(sim *vtime.Sim, conn *transport.Conn) *Client {
 		sim:           sim,
 		conn:          conn,
 		pending:       make(map[uint64]*vtime.Chan[envelope]),
+		hCall:         conn.Network().Hists().H("rpc.call.latency"),
 		notifications: vtime.NewChan[Notification](sim, "rpc-notify:"+conn.LocalAddr().String(), 256),
 	}
 	sim.GoDaemon("rpc-demux:"+conn.LocalAddr().String(), c.demux)
@@ -200,7 +206,9 @@ func (c *Client) CallCtx(ctx trace.Ctx, method string, arg, reply any, timeout t
 	tr := c.conn.Network().Tracer()
 	host := c.conn.LocalAddr().Host
 	start := tr.Now()
+	startV := c.sim.Now()
 	finish := func(outcome string) {
+		c.hCall.Record(int64(c.sim.Now() - startV))
 		tr.SpanCtx(callCtx, "rpc", "call:"+method, host, c.conn.Flow(), corrID(c.conn, id), start,
 			trace.Arg{Key: "outcome", Val: outcome})
 		c.conn.Network().Counters().Add(trace.Key("rpc", "call", outcome, host), 1)
@@ -388,6 +396,7 @@ func (s *Server) serveConn(conn *transport.Conn) {
 	sc := &ServerConn{sim: s.sim, conn: conn, Meta: meta, Ctx: conn.Ctx()}
 	tr := conn.Network().Tracer()
 	host := conn.LocalAddr().Host
+	hServe := conn.Network().Hists().H("rpc.serve.latency")
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
@@ -410,7 +419,9 @@ func (s *Server) serveConn(conn *transport.Conn) {
 			serveCtx = serveCtx.Child("serve")
 			sc.Ctx = serveCtx
 			serveStart := tr.Now()
+			serveStartV := s.sim.Now()
 			result, err := s.handler.HandleCall(sc, env.Method, env.Body)
+			hServe.Record(int64(s.sim.Now() - serveStartV))
 			sc.Ctx = conn.Ctx()
 			reply := envelope{ID: env.ID, Kind: kindReply, Req: serveCtx.Req, Span: serveCtx.Span}
 			outcome := "ok"

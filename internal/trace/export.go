@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"cogrid/internal/metrics"
@@ -27,28 +28,140 @@ type jsonlEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
+// jsonlBufPool recycles encode buffers across WriteJSONL calls, so tracing
+// a long run amortizes to zero allocations per event in steady state
+// (BenchmarkWriteJSONL / TestWriteJSONLAllocs pin this down).
+var jsonlBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
+
+// jsonlFlushAt bounds buffered bytes before flushing to the writer.
+const jsonlFlushAt = 48 * 1024
+
 // WriteJSONL writes events one JSON object per line. Events must already be
 // in the desired order (Tracer.Events returns the deterministic order).
+// Encoding appends into a pooled buffer — no per-event allocation — and the
+// output is parseable by ReadJSONL; field order matches jsonlEvent.
 func WriteJSONL(w io.Writer, events []Event) error {
-	enc := json.NewEncoder(w)
-	for _, ev := range events {
-		je := jsonlEvent{
-			At:   int64(ev.At),
-			Dur:  int64(ev.Dur),
-			Cat:  ev.Cat,
-			Name: ev.Name,
-			Proc: ev.Proc,
-			Thr:  ev.Thr,
-			ID:   ev.ID,
-			Req:  ev.Req,
-			Span: ev.Span,
-			Args: argMap(ev.Args),
-		}
-		if err := enc.Encode(je); err != nil {
-			return err
+	bp := jsonlBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	defer func() {
+		*bp = buf[:0]
+		jsonlBufPool.Put(bp)
+	}()
+	for i := range events {
+		buf = appendJSONLEvent(buf, &events[i])
+		if len(buf) >= jsonlFlushAt {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
 	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+	}
 	return nil
+}
+
+// appendJSONLEvent appends one event as a JSON object plus newline,
+// mirroring jsonlEvent's field order and omitempty semantics.
+func appendJSONLEvent(buf []byte, ev *Event) []byte {
+	buf = append(buf, `{"at":`...)
+	buf = strconv.AppendInt(buf, int64(ev.At), 10)
+	if ev.Dur != 0 {
+		buf = append(buf, `,"dur":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Dur), 10)
+	}
+	buf = append(buf, `,"cat":`...)
+	buf = appendJSONString(buf, ev.Cat)
+	buf = append(buf, `,"name":`...)
+	buf = appendJSONString(buf, ev.Name)
+	buf = appendOptField(buf, "proc", ev.Proc)
+	buf = appendOptField(buf, "thr", ev.Thr)
+	buf = appendOptField(buf, "id", ev.ID)
+	buf = appendOptField(buf, "req", ev.Req)
+	buf = appendOptField(buf, "span", ev.Span)
+	if len(ev.Args) > 0 {
+		buf = append(buf, `,"args":{`...)
+		// Keys in sorted order, matching encoding/json map output. Arg
+		// lists are tiny (≤ ~3), so an index selection sort avoids
+		// allocating a scratch slice.
+		emitted := 0
+		prev := ""
+		for emitted < len(ev.Args) {
+			next := -1
+			for i, a := range ev.Args {
+				if (emitted == 0 || a.Key > prev) && (next < 0 || a.Key < ev.Args[next].Key) {
+					next = i
+				}
+			}
+			if next < 0 {
+				break // duplicate keys: emit each distinct key once
+			}
+			if emitted > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, ev.Args[next].Key)
+			buf = append(buf, ':')
+			buf = appendJSONString(buf, ev.Args[next].Val)
+			prev = ev.Args[next].Key
+			emitted++
+		}
+		buf = append(buf, '}')
+	}
+	return append(buf, '}', '\n')
+}
+
+func appendOptField(buf []byte, key, val string) []byte {
+	if val == "" {
+		return buf
+	}
+	buf = append(buf, ',', '"')
+	buf = append(buf, key...)
+	buf = append(buf, '"', ':')
+	return appendJSONString(buf, val)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Escaping follows
+// RFC 8259 (quote, backslash, and control characters; UTF-8 passes
+// through verbatim) — strconv.AppendQuote is not usable here because Go
+// string escaping is not JSON escaping.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
 }
 
 // ReadJSONL parses a JSONL trace written by WriteJSONL back into events,

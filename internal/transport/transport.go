@@ -134,6 +134,7 @@ type Network struct {
 	tracer   atomic.Pointer[trace.Tracer]
 	counters atomic.Pointer[trace.Counters]
 	gauges   atomic.Pointer[metrics.GaugeSet]
+	hists    atomic.Pointer[metrics.HistogramSet]
 }
 
 // New creates a network on sim with the given latency model.
@@ -181,6 +182,16 @@ func (n *Network) SetGauges(g *metrics.GaugeSet) { n.gauges.Store(g) }
 // Gauges returns the attached gauge registry, or nil (which is itself a
 // valid no-op registry).
 func (n *Network) Gauges() *metrics.GaugeSet { return n.gauges.Load() }
+
+// SetHists attaches a histogram registry. As with Tracer/Counters/Gauges,
+// every layer above reads it from here, so one attachment threads latency
+// histograms through the whole stack. A nil set (the default) disables
+// them; recording into a nil histogram is a no-op.
+func (n *Network) SetHists(h *metrics.HistogramSet) { n.hists.Store(h) }
+
+// Hists returns the attached histogram registry, or nil (which is itself a
+// valid no-op registry).
+func (n *Network) Hists() *metrics.HistogramSet { return n.hists.Load() }
 
 // AddHost registers a host by name. Adding an existing name returns the
 // existing host.
@@ -458,6 +469,7 @@ func (l *Listener) close(deregister bool) {
 // outMsg is an entry in a connection's delivery pipeline.
 type outMsg struct {
 	payload   []byte
+	sentAt    time.Duration
 	deliverAt time.Duration
 	fin       bool
 	// ctx is the causal context of the send, stamped on the matching recv
@@ -484,6 +496,9 @@ type Conn struct {
 	ctx trace.Ctx
 	// Per-connection counter handles, nil when no registry is attached.
 	cSend, cSendBytes, cRecv, cRecvBytes, cDrop *trace.Counter
+	// Cached histogram handles (shared network-wide, not per-connection, to
+	// bound cardinality), nil when no registry is attached.
+	hBytes, hDelay *metrics.Histogram
 
 	mu     sync.Mutex
 	closed bool
@@ -540,6 +555,10 @@ func newConnPair(n *Network, clientAddr, serverAddr Addr, ctx trace.Ctx) (client
 			c.cRecvBytes = ctrs.C(trace.Key("transport", "conn", "recvbytes", c.dirFlow))
 			c.cDrop = ctrs.C(trace.Key("transport", "conn", "drop", c.dirFlow))
 		}
+		if hs := n.Hists(); hs != nil {
+			c.hBytes = hs.H("transport.msg.bytes")
+			c.hDelay = hs.H("transport.msg.delay")
+		}
 		return c
 	}
 	client = mk(clientAddr, serverAddr)
@@ -572,6 +591,9 @@ func (c *Conn) deliverLoop() {
 			c.dropped(len(m.payload), "overflow", m.ctx)
 			continue
 		}
+		// Enqueue-to-delivery virtual delay: wire latency plus any FIFO
+		// backlog behind earlier messages on this connection.
+		c.hDelay.Record(int64(c.net.sim.Now() - m.sentAt))
 		c.peer.cRecv.Add(1)
 		c.peer.cRecvBytes.Add(int64(len(m.payload)))
 		if ctrs := c.net.Counters(); ctrs != nil {
@@ -639,6 +661,7 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Ctx) error {
 		ctrs.Add(trace.Key("transport", "msgs", "send", c.local.Host), 1)
 		ctrs.Add(trace.Key("transport", "bytes", "send", c.local.Host), int64(len(payload)))
 	}
+	c.hBytes.Record(int64(len(payload)))
 	now := n.sim.Now()
 	oneWay := n.latency.Latency(c.local.Host, c.remote.Host)
 	// One hop span per send, covering the wire time to the peer.
@@ -652,6 +675,7 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Ctx) error {
 	// blocking the sender while it holds no kernel context.
 	c.out.TrySend(outMsg{
 		payload:   buf,
+		sentAt:    now,
 		deliverAt: now + oneWay,
 		ctx:       ctx,
 	})

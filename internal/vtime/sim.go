@@ -48,6 +48,56 @@ type Sim struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	stats       KernelStats
+	timersFired int64
+	batchWhen   time.Duration // virtual instant of the open dispatch batch
+	batchCount  int64         // timers dispatched at batchWhen so far
+}
+
+// Recorder consumes one non-negative int64 sample. It is the kernel's view
+// of a latency histogram: vtime cannot import the metrics package (metrics
+// builds on vtime), so callers inject recorders — *metrics.Histogram
+// satisfies this interface — via SetStats. Implementations are invoked with
+// the kernel lock held and therefore must not block or call back into the
+// Sim; an atomic-only histogram qualifies.
+type Recorder interface {
+	Record(v int64)
+}
+
+// KernelStats wires distribution recorders into the kernel hot paths. Any
+// nil field disables that probe at zero cost beyond a nil check.
+type KernelStats struct {
+	// TimerLead receives, for every timer that fires, its virtual lead time
+	// in nanoseconds: how far ahead of the then-current clock it was set.
+	// Fired timers are the deterministic population — whether a timeout
+	// timer is even created can depend on real goroutine interleaving
+	// within one virtual instant (a waiter may take a fast path and never
+	// block), but a timer that fires exists and fires in every schedule.
+	TimerLead Recorder
+	// DispatchBatch receives, for every virtual instant at which at least
+	// one timer fired, the number of timer callbacks dispatched at that
+	// instant. Batches are keyed by the virtual clock, not by scheduler
+	// invocation, so the recorded multiset is deterministic for a fixed
+	// seed even though real goroutine interleaving varies run to run.
+	DispatchBatch Recorder
+}
+
+// SetStats installs kernel probes. Call it during setup, before processes
+// are spawned; recorders must be safe for use under the kernel lock (see
+// Recorder).
+func (s *Sim) SetStats(ks KernelStats) {
+	s.mu.Lock()
+	s.stats = ks
+	s.mu.Unlock()
+}
+
+// TimersFired returns the total number of timer callbacks dispatched so
+// far — the kernel's event throughput counter.
+func (s *Sim) TimersFired() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timersFired
 }
 
 // waitInfo describes one blocked process, for deadlock reports.
@@ -126,6 +176,7 @@ func (s *Sim) procExit(daemon bool) {
 	if !daemon {
 		s.alive--
 		if s.alive == 0 && !s.completed {
+			s.flushBatchLocked()
 			s.completed = true
 			close(s.done)
 			return
@@ -309,11 +360,34 @@ func (s *Sim) advanceLocked() {
 			s.now = entry.when
 		}
 		entry.fired = true
+		// Dispatch batches are keyed by the clock value at fire time: a
+		// woken process that blocks again at the same instant continues
+		// the open batch, keeping the statistic independent of where the
+		// scheduler happened to pause.
+		if s.batchCount > 0 && s.now != s.batchWhen {
+			s.flushBatchLocked()
+		}
+		s.batchWhen = s.now
+		s.batchCount++
+		s.timersFired++
+		if s.stats.TimerLead != nil {
+			s.stats.TimerLead.Record(int64(entry.when - entry.born))
+		}
 		entry.fn()
 	}
 }
 
+// flushBatchLocked records and resets the open dispatch batch. Must be
+// called with s.mu held.
+func (s *Sim) flushBatchLocked() {
+	if s.batchCount > 0 && s.stats.DispatchBatch != nil {
+		s.stats.DispatchBatch.Record(s.batchCount)
+	}
+	s.batchCount = 0
+}
+
 func (s *Sim) reportDeadlockLocked() {
+	s.flushBatchLocked()
 	infos := make([]*waitInfo, 0, len(s.waiting))
 	for _, w := range s.waiting {
 		infos = append(infos, w)
@@ -338,6 +412,7 @@ func parkForever() {
 
 type timerEntry struct {
 	when      time.Duration
+	born      time.Duration // clock value when the timer was scheduled
 	seq       uint64
 	fn        func() // runs under s.mu
 	cancelled bool
@@ -347,7 +422,7 @@ type timerEntry struct {
 
 func (s *Sim) pushTimerLocked(when time.Duration, fn func()) *timerEntry {
 	s.seq++
-	entry := &timerEntry{when: when, seq: s.seq, fn: fn}
+	entry := &timerEntry{when: when, born: s.now, seq: s.seq, fn: fn}
 	heap.Push(&s.timers, entry)
 	return entry
 }
