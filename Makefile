@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke cover bench-snapshot bench-check
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke cover bench-snapshot bench-check
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -44,6 +44,15 @@ trace-smoke:
 # See TESTING.md for the seed-replay workflow.
 dst-smoke:
 	$(GO) run ./cmd/dstgrid -seeds 200 -smoke
+
+# Federation smoke: 40 randomized multi-replica scenarios (leader and
+# follower crashes, elections, shard hand-offs) through the DST
+# invariant library, then the 1-vs-2-replica B6 scaling rows — exits
+# non-zero if any invariant is violated or the two-replica row fails to
+# beat the single replica's throughput at equal tail latency.
+fed-smoke:
+	$(GO) run ./cmd/dstgrid -fed-seeds 40 -smoke
+	$(GO) run ./cmd/benchgrid -fig none -app federation -smoke
 
 # Re-measure the performance baseline: full 1s-per-bench suite plus the
 # deterministic scenario, written to BENCH_grid.json. Commit the result

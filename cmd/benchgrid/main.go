@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchgrid [-fig 2|3|4|5|all]
-//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|ablation|all]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|ablation|all]
 //	          [-seed N] [-trials N] [-json] [-smoke] [-analyze trace.jsonl]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
@@ -37,7 +37,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
-	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, ablation, all, or none")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, ablation, all, or none")
 	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
@@ -109,6 +109,8 @@ func main() {
 		brokerStudy(*seed, *smoke)
 	case "chaos":
 		chaosStudy(*seed, *smoke)
+	case "federation":
+		federationStudy(*seed, *smoke)
 	case "ablation":
 		ablation()
 	case "all":
@@ -120,6 +122,7 @@ func main() {
 		loadStudy(*seed, *trials)
 		brokerStudy(*seed, *smoke)
 		chaosStudy(*seed, *smoke)
+		federationStudy(*seed, *smoke)
 		ablation()
 	case "none":
 	default:
@@ -204,6 +207,13 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) 
 			return err
 		}
 		out["b2_chaos"] = res
+	}
+	if appOn("federation") {
+		res := experiments.FederationLoadStudy(federationConfig(seed, smoke))
+		if err := federationScalingCheck(res); err != nil {
+			return err
+		}
+		out["b6_federation"] = res
 	}
 	if appOn("ablation") {
 		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
@@ -406,6 +416,52 @@ func chaosStudy(seed int64, smoke bool) {
 	fmt.Println("(internal/failure through internal/broker: every fault heals in-run,")
 	fmt.Println(" so the acceptance bar is zero leaked jobs and orphans rec == reaped)")
 	if err := chaosLeakCheck(res); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgrid:", err)
+		os.Exit(1)
+	}
+}
+
+// federationConfig selects the federation study size: the stock
+// 1/2/4/8-replica sweep, or just the 1-vs-2 rows for CI (make fed-smoke).
+func federationConfig(seed int64, smoke bool) experiments.FederationLoadConfig {
+	cfg := experiments.FederationLoadConfig{Seed: seed}
+	if smoke {
+		cfg.ReplicaCounts = []int{1, 2}
+	}
+	return cfg
+}
+
+// federationScalingCheck enforces the study's acceptance bar: at least one
+// multi-replica row must sustain higher admitted throughput than the
+// single-replica row at no worse p99 — even though the multi-replica rows
+// also absorb a leader crash mid-run.
+func federationScalingCheck(res experiments.FederationLoadResult) error {
+	var base *experiments.FederationLoadRow
+	for i := range res.Rows {
+		if res.Rows[i].Replicas == 1 {
+			base = &res.Rows[i]
+		}
+	}
+	if base == nil {
+		return nil // no single-replica baseline in this sweep
+	}
+	for _, row := range res.Rows {
+		if row.Replicas > 1 && row.ThroughputPerMin > base.ThroughputPerMin && row.P99 <= base.P99 {
+			return nil
+		}
+	}
+	return fmt.Errorf("federation: no multi-replica row beat the single-replica baseline (%.2f/min, p99 %v)",
+		base.ThroughputPerMin, base.P99)
+}
+
+func federationStudy(seed int64, smoke bool) {
+	section("B6 — federated broker scaling vs replica count (with a leader crash)")
+	res := experiments.FederationLoadStudy(federationConfig(seed, smoke))
+	fmt.Print(res.Table())
+	fmt.Println("(internal/federation: replicas split the admission load; rows with")
+	fmt.Println(" two or more replicas crash and restart the leader mid-run, so the")
+	fmt.Println(" gains are earned under election, hand-off, and client failover)")
+	if err := federationScalingCheck(res); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgrid:", err)
 		os.Exit(1)
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dstgrid -seeds 200 -smoke          # sweep seeds 1..200, small profile
+//	dstgrid -fed-seeds 50 -smoke       # sweep federated broker scenarios
 //	dstgrid -seed 42                   # one seed, full profile
 //	dstgrid -scenario '<json>'         # replay an exact scenario
 //	dstgrid -corpus internal/dst/testdata  # re-run the regression corpus
@@ -28,6 +29,7 @@ import (
 func main() {
 	var (
 		seeds    = flag.Int("seeds", 0, "sweep seeds 1..N")
+		fedSeeds = flag.Int("fed-seeds", 0, "sweep seeds 1..N forcing federated broker scenarios")
 		seed     = flag.Int64("seed", 0, "run a single seed")
 		scenario = flag.String("scenario", "", "replay an exact scenario (JSON, or @file)")
 		corpus   = flag.String("corpus", "", "re-run every .json scenario in a directory")
@@ -84,6 +86,14 @@ func main() {
 		ran = true
 		for s := int64(1); s <= int64(*seeds); s++ {
 			emit(dst.RunSeed(s, profile, dst.RunOptions{}, budget))
+		}
+	}
+	if *fedSeeds > 0 {
+		ran = true
+		fp := profile
+		fp.BrokerProb, fp.FedProb = 1, 1
+		for s := int64(1); s <= int64(*fedSeeds); s++ {
+			emit(dst.RunSeed(s, fp, dst.RunOptions{}, budget))
 		}
 	}
 	if !ran {

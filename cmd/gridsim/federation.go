@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cogrid/internal/broker"
+	"cogrid/internal/core"
+	"cogrid/internal/federation"
+	"cogrid/internal/grid"
+	"cogrid/internal/lrm"
+	"cogrid/internal/mds"
+	"cogrid/internal/trace"
+	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
+)
+
+// runFederationDemo runs the built-in federation scenario: a three-replica
+// broker group over six batch machines, with keyed requests spread
+// round-robin across the replicas. Mid-run the leader is crashed and later
+// restarted: the survivors elect a new leader, take over the dead
+// replica's shard, adopt its journal entries, and the crashed replica's
+// clients fail over to the next replica in the ring. The output narrates
+// each commit, the crash, and the post-run journal so the replication
+// machinery is visible end to end. Observability outputs follow opts.
+func runFederationDemo(opts runOptions) error {
+	const (
+		machines     = 6
+		procs        = 16
+		replicas     = 3
+		workTime     = 90 * time.Second
+		sites        = 2
+		procsPerSite = 4
+		requests     = 9
+		crashAt      = 45 * time.Second
+		outage       = 2 * time.Minute
+	)
+	g := grid.New(grid.Options{Seed: 7, Trace: true})
+	dirHost := g.Net.AddHost("mds0")
+	if _, err := mds.NewServer(dirHost, 0); err != nil {
+		return err
+	}
+	dir := transport.Addr{Host: "mds0", Service: mds.ServiceName}
+	for i := 0; i < machines; i++ {
+		name := fmt.Sprintf("site%02d", i)
+		m := g.AddMachine(name, procs, lrm.Batch)
+		mds.Publish(m, dir, g.Contact(name), 31*time.Second, procsPerSite, procs)
+	}
+	g.RegisterEverywhere("app", func(p *lrm.Proc) error {
+		rt, err := core.Attach(p)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		if _, err := rt.Barrier(true, "", 0); err != nil {
+			return nil
+		}
+		return p.Work(workTime, time.Second)
+	})
+	fed, err := federation.New(g.Net, core.ControllerConfig{
+		Credential: g.UserCred,
+		Registry:   g.Registry,
+	}, federation.Options{
+		Replicas:  replicas,
+		Directory: dir,
+		Broker: broker.Options{
+			Directory:  dir,
+			QueueBound: 4,
+			Workers:    2,
+			RetryAfter: 15 * time.Second,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	leader := fed.Replica(replicas - 1) // highest id wins the first election
+	fmt.Printf("federation demo: %d broker replicas over %d batch machines x %d procs\n",
+		replicas, machines, procs)
+	fmt.Printf("requests: %d sites x %d processes, keyed, round-robin across replicas\n", sites, procsPerSite)
+	fmt.Printf("schedule: leader %s crashes at t=%v, restarts at t=%v\n\n",
+		leader.Name(), crashAt, crashAt+outage)
+
+	var mu sync.Mutex
+	simErr := g.Sim.Run("driver", func() {
+		g.Sim.GoDaemon("demo-crash", func() {
+			g.Sim.SleepUntil(crashAt)
+			mu.Lock()
+			fmt.Printf("t=%-8v !! crashing %s (current leader)\n", g.Sim.Now(), leader.Name())
+			mu.Unlock()
+			leader.Crash()
+			g.Sim.Sleep(outage)
+			if err := leader.Restart(); err != nil {
+				panic(fmt.Sprintf("restart %s: %v", leader.Name(), err))
+			}
+			mu.Lock()
+			fmt.Printf("t=%-8v !! %s restarted; it rejoins as a follower and re-bootstraps the shard map\n",
+				g.Sim.Now(), leader.Name())
+			mu.Unlock()
+		})
+		wg := vtime.NewWaitGroup(g.Sim)
+		wg.Add(requests)
+		for i := 0; i < requests; i++ {
+			i := i
+			host := g.Net.AddHost(fmt.Sprintf("client%02d", i))
+			g.Sim.GoDaemon(fmt.Sprintf("driver:client%02d", i), func() {
+				defer wg.Done()
+				g.Sim.SleepUntil(10*time.Second + time.Duration(i)*7*time.Second)
+				ctx := trace.NewRequest(host.Name())
+				start := g.Sim.Now()
+				req := broker.Request{
+					Tenant:       fmt.Sprintf("tenant-%c", 'a'+i%3),
+					Sites:        sites,
+					ProcsPerSite: procsPerSite,
+					Executable:   "app",
+					Spares:       1,
+					Key:          fmt.Sprintf("req%02d", i),
+				}
+				// Client-side failover: walk the ring from the home
+				// replica until one answers. The idempotency key makes
+				// the walk safe — a committed-but-unreplied key is
+				// answered from the replicated journal, not re-allocated.
+				for k := 0; k < replicas; k++ {
+					r := fed.Replica((i + k) % replicas)
+					c, err := broker.DialCtx(host, r.BrokerContact(), ctx)
+					if err != nil {
+						mu.Lock()
+						fmt.Printf("t=%-8v %s: %s unreachable (%v), failing over to %s\n",
+							g.Sim.Now(), req.Key, r.Name(), err,
+							fed.Replica((i+k+1)%replicas).Name())
+						mu.Unlock()
+						continue
+					}
+					reply, rejects, err := c.SubmitWait(req, 0, 20)
+					c.Close()
+					if err != nil {
+						mu.Lock()
+						fmt.Printf("t=%-8v %s: %s died mid-request (%v), failing over\n",
+							g.Sim.Now(), req.Key, r.Name(), err)
+						mu.Unlock()
+						continue
+					}
+					g.Tracer.SpanAtCtx(ctx, "client", "request", host.Name(), req.Tenant, "", start, g.Sim.Now())
+					mu.Lock()
+					if !reply.OK() {
+						fmt.Printf("t=%-8v %s via %s: FAILED: %s\n", g.Sim.Now(), req.Key, r.Name(), reply.Error)
+					} else {
+						via := ""
+						if reply.Hops > 0 {
+							via = fmt.Sprintf(", %d forward(s)", reply.Hops)
+						}
+						fmt.Printf("t=%-8v %s via %s: committed job %s (%d procs, %d reject(s)%s, leader now %s)\n",
+							g.Sim.Now(), req.Key, r.Name(), reply.JobID, reply.WorldSize,
+							rejects, via, r.LeaderName())
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				fmt.Printf("t=%-8v %s: no replica reachable\n", g.Sim.Now(), req.Key)
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+		// Let the running jobs drain and the peer reaper settle any
+		// entries the crash handed off, so the journal below is final.
+		g.Sim.Sleep(workTime + time.Minute)
+		g.Sim.Sleep(3 * fed.Options().PeerReapInterval)
+	})
+
+	fmt.Println()
+	byState := map[string]int{}
+	handedOff := 0
+	for _, e := range fed.MergedJournal() {
+		byState[e.State]++
+		if e.HandoffAt > 0 {
+			handedOff++
+		}
+	}
+	fmt.Printf("replicated journal: %d open / %d closed / %d reaped; %d entr(ies) handed off after the crash\n",
+		byState[federation.StateOpen], byState[federation.StateClosed],
+		byState[federation.StateReaped], handedOff)
+	for _, r := range fed.Replicas() {
+		fmt.Printf("  %s alive=%-5v sees leader %s\n", r.Name(), r.Alive(), r.LeaderName())
+	}
+	if err := writeOutputs(g, opts); err != nil {
+		return err
+	}
+	return simErr
+}

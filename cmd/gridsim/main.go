@@ -6,8 +6,8 @@
 // Usage:
 //
 //	gridsim [-f scenario.json | scenario.json] [-demo] [-broker] [-chaos]
-//	        [-trace out.json] [-trace-jsonl out.jsonl] [-counters]
-//	        [-gauges out.csv] [-gauge-step 5s]
+//	        [-federation] [-trace out.json] [-trace-jsonl out.jsonl]
+//	        [-counters] [-gauges out.csv] [-gauge-step 5s]
 //
 // The scenario file may be given either with -f or as the positional
 // argument. -trace writes a Chrome trace_event file of the whole run
@@ -23,7 +23,10 @@
 // runs the built-in chaos scenario: the broker load replayed against a
 // grid where machines crash, hang, and partition mid-run, showing the
 // request deadline, the per-attempt watchdog, and the orphan reaper
-// keeping the grid leak-free.
+// keeping the grid leak-free. -federation runs the built-in federated
+// broker scenario: a three-replica control plane whose leader crashes
+// mid-run, showing leader election, shard hand-off, journal adoption by
+// the survivors, and client fail-over with idempotency keys.
 //
 // With -demo (or no flags) a built-in scenario runs: five machines, one
 // crashing mid-startup and one slow, handled by substitution from a spare
@@ -112,6 +115,7 @@ func main() {
 	demo := flag.Bool("demo", false, "run the built-in demo scenario")
 	brokerDemo := flag.Bool("broker", false, "run the built-in multi-tenant broker scenario")
 	chaosDemo := flag.Bool("chaos", false, "run the built-in broker chaos scenario (faults injected mid-run)")
+	federationDemo := flag.Bool("federation", false, "run the built-in federated broker scenario (leader crash, election, fail-over)")
 	timeline := flag.Bool("timeline", false, "render the submission timeline and event history")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event file of the run")
 	jsonlPath := flag.String("trace-jsonl", "", "write the raw trace events as JSON Lines (input for tracegrid -analyze)")
@@ -171,6 +175,12 @@ func main() {
 	}
 	if *chaosDemo {
 		if err := runChaosDemo(opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *federationDemo {
+		if err := runFederationDemo(opts); err != nil {
 			fatal(err)
 		}
 		return

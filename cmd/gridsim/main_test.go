@@ -27,6 +27,12 @@ func TestDemoScenarioRuns(t *testing.T) {
 	}
 }
 
+func TestFederationDemoRuns(t *testing.T) {
+	if err := runFederationDemo(runOptions{}); err != nil {
+		t.Fatalf("federation demo: %v", err)
+	}
+}
+
 func TestFigure1ScenarioRuns(t *testing.T) {
 	if err := run(loadScenario(t, "figure1.json")); err != nil {
 		t.Fatalf("figure1 scenario: %v", err)

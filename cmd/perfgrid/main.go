@@ -1,6 +1,7 @@
 // Perfgrid is the performance observatory's harness: it runs the declared
 // benchmark suite (internal/perf.Suite) plus the deterministic broker-load
-// scenario, and emits a schema-versioned BENCH_grid.json snapshot.
+// and federated-broker scenarios, and emits a schema-versioned
+// BENCH_grid.json snapshot.
 //
 // Usage:
 //
@@ -182,13 +183,18 @@ func validateSmoke(snap perf.Snapshot, scenarioOnly bool) error {
 		}
 	}
 	for _, name := range []string{"scenario.broker.load", "scenario.vtime.kernel",
-		"scenario.hist.rpc.call.latency", "scenario.hist.broker.request.latency"} {
+		"scenario.hist.rpc.call.latency", "scenario.hist.broker.request.latency",
+		"scenario.fed.load", "scenario.fed.hist.fed.election.latency",
+		"scenario.fed.hist.fed.handoff.time"} {
 		if snap.Find(name) == nil {
 			return fmt.Errorf("smoke: scenario series %s missing", name)
 		}
 	}
 	if s := snap.Find("scenario.broker.load"); s.Values["completed"] == 0 {
 		return fmt.Errorf("smoke: scenario completed no requests")
+	}
+	if s := snap.Find("scenario.fed.load"); s.Values["completed"] == 0 || s.Values["elections"] == 0 {
+		return fmt.Errorf("smoke: federation scenario did not exercise the failure path")
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ package broker
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -100,6 +101,58 @@ type Options struct {
 	// Retry is the per-failure-class policy. Zero value replaced by
 	// DefaultRetryPolicy().
 	Retry RetryPolicy
+
+	// ReplicaID identifies this broker instance inside a federation; it
+	// keys every per-broker counter, gauge, and cache-staleness account,
+	// so forwarded requests are attributed to the replica that decided
+	// them rather than to whichever process served them. Defaults to the
+	// host name, which preserves the single-broker behavior exactly.
+	ReplicaID string
+	// CandidateFilter, when set, restricts candidate selection to a
+	// subset of the cached directory records — a federation replica
+	// passes its shard here so it only co-allocates machines it owns.
+	// The filter must be deterministic and must not retain the slice.
+	CandidateFilter func([]mds.Record) []mds.Record
+	// Forward, when set, is offered requests that failed locally with
+	// ErrNoCandidates — a federation replica forwards them to the peer
+	// whose shard has capacity. Returning a committed reply ends the
+	// request; ErrForwardUnavailable resumes the local retry policy;
+	// ErrForwardIndeterminate terminates the request without further
+	// attempts (a retry after an unacknowledged forward could allocate
+	// twice).
+	Forward func(req Request, ctx trace.Ctx) (Reply, error)
+	// OnTicket, when set, observes ticket lifecycle transitions (open at
+	// worker pickup, close at terminal reply) — the federation's journal
+	// feed. Must not block.
+	OnTicket func(ev TicketEvent)
+	// OnOrphan, when set, is called for every orphan recorded (in
+	// addition to the broker's own reaper taking it). Must not block.
+	OnOrphan func(o core.Orphan)
+	// OnReap, when set, is called with the orphan's job/subjob key after
+	// the broker's own reaper confirms its cancellation. Must not block.
+	OnReap func(key string)
+}
+
+// TicketEvent is one ticket lifecycle transition offered to
+// Options.OnTicket.
+type TicketEvent struct {
+	// Kind is "open" (worker picked the ticket up) or "close" (terminal
+	// reply produced).
+	Kind string
+	// Ticket is the replica-unique correlation id (ReplicaID + "#reqN").
+	Ticket string
+	// Key is the request's idempotency key (empty if the client set none).
+	Key    string
+	Tenant string
+	// JobIDs lists every DUROC job the ticket's attempts created; close
+	// only. All their allocations are settled once the ticket closes.
+	JobIDs []string
+	// JobID is the committed co-allocation; empty on failure or when the
+	// outcome came from a forwarded peer (Forwarded true), whose own
+	// broker journals the commit.
+	JobID     string
+	Forwarded bool
+	Err       string
 }
 
 func (o *Options) fill() {
@@ -126,6 +179,14 @@ func (o *Options) fill() {
 	}
 	if o.Retry.MaxAttempts == 0 {
 		o.Retry = DefaultRetryPolicy()
+	}
+}
+
+// fillHost defaults ReplicaID to the host name; split from fill so fill
+// stays host-independent.
+func (o *Options) fillHost(host *transport.Host) {
+	if o.ReplicaID == "" {
+		o.ReplicaID = host.Name()
 	}
 }
 
@@ -156,6 +217,22 @@ type Request struct {
 	// Client.Submit stamps it from its timeout; client and broker share
 	// one virtual clock, so no skew correction is needed.
 	Deadline time.Duration `json:"deadline,omitempty"`
+	// Key is an idempotency key naming the co-allocation across the
+	// whole federation: forwarded copies of a request carry the same
+	// key, and the at-most-once invariant is "at most one committed
+	// co-allocation per key". Empty outside federations.
+	Key string `json:"key,omitempty"`
+	// Origin is the replica id that first admitted the request; stamped
+	// by the forwarding replica so the serving replica attributes cache
+	// consultations and counters to the decider. Empty means local.
+	Origin string `json:"origin,omitempty"`
+	// Hops counts broker-to-broker forwards this request has taken.
+	Hops int `json:"hops,omitempty"`
+	// ViewAsOf is the fetch time of the directory view the forwarding
+	// replica decided on. The serving replica refuses to select from a
+	// cache older than this: a forward must never be answered from a
+	// view staler than the one that justified it.
+	ViewAsOf time.Duration `json:"view_as_of,omitempty"`
 }
 
 // Reply reports the outcome of one submission.
@@ -173,6 +250,9 @@ type Reply struct {
 	// broker-side end-to-end time from admission to outcome.
 	QueueWait time.Duration `json:"queue_wait,omitempty"`
 	Elapsed   time.Duration `json:"elapsed,omitempty"`
+	// Hops is how many broker-to-broker forwards served this request
+	// (0 = the broker the client dialed committed it from its own shard).
+	Hops int `json:"hops,omitempty"`
 	// Error is the terminal failure after retries were exhausted.
 	Error string `json:"error,omitempty"`
 }
@@ -224,6 +304,7 @@ type Broker struct {
 // resource managers answer.
 func New(host *transport.Host, ctrlCfg core.ControllerConfig, opts Options) (*Broker, error) {
 	opts.fill()
+	opts.fillHost(host)
 	sim := host.Network().Sim()
 	b := &Broker{
 		sim:      sim,
@@ -238,6 +319,13 @@ func New(host *transport.Host, ctrlCfg core.ControllerConfig, opts Options) (*Br
 		reapStop: vtime.NewEvent(sim, "broker-reap-stop:"+host.Name()),
 	}
 	ctrlCfg.OnOrphan = b.addOrphan
+	if opts.OnOrphan != nil {
+		hook := opts.OnOrphan
+		ctrlCfg.OnOrphan = func(o core.Orphan) {
+			b.addOrphan(o)
+			hook(o)
+		}
+	}
 	ctrl, err := core.NewController(host, ctrlCfg)
 	if err != nil {
 		return nil, err
@@ -252,7 +340,7 @@ func New(host *transport.Host, ctrlCfg core.ControllerConfig, opts Options) (*Br
 	}
 	// The cache starts its refresh daemon immediately, so it is created
 	// only after every fallible construction step has passed.
-	b.cache = newCache(host, opts.Directory, opts.CacheMaxAge, opts.RefreshInterval, opts.RefreshOffset)
+	b.cache = newCache(host, opts.ReplicaID, opts.Directory, opts.CacheMaxAge, opts.RefreshInterval, opts.RefreshOffset)
 	b.server = rpc.Serve(sim, l, rpc.HandlerFuncs{Call: b.handleCall}, nil)
 	sim.GoDaemon("broker-dispatch:"+host.Name(), b.dispatcher)
 	for i := 0; i < opts.Workers; i++ {
@@ -304,9 +392,10 @@ func (b *Broker) counters() *trace.Counters    { return b.host.Network().Counter
 func (b *Broker) gauges() *metrics.GaugeSet    { return b.host.Network().Gauges() }
 func (b *Broker) hists() *metrics.HistogramSet { return b.host.Network().Hists() }
 
-// count increments broker.object.verb@<broker-host>.
+// count increments broker.object.verb@<replica-id> (the host name
+// outside federations).
 func (b *Broker) count(object, verb string, delta int64) {
-	b.counters().Add(trace.Key("broker", object, verb, b.host.Name()), delta)
+	b.counters().Add(trace.Key("broker", object, verb, b.opts.ReplicaID), delta)
 }
 
 func (b *Broker) handleCall(sc *rpc.ServerConn, method string, body json.RawMessage) (any, error) {
@@ -399,7 +488,7 @@ func (b *Broker) submit(req Request, ctx trace.Ctx) (Reply, error) {
 	b.mu.Unlock()
 
 	b.count("queue", "enqueue", 1)
-	b.gauges().G("broker.queue_depth@" + b.host.Name()).Add(1)
+	b.gauges().G("broker.queue_depth@" + b.opts.ReplicaID).Add(1)
 	b.tracer().InstantCtx(t.ctx, "broker", "enqueue", b.host.Name(), req.Tenant, b.corr(t),
 		trace.Arg{Key: "depth", Val: strconv.Itoa(depth)})
 	b.wake.TrySend(struct{}{})
@@ -410,7 +499,7 @@ func (b *Broker) submit(req Request, ctx trace.Ctx) (Reply, error) {
 
 // corr is the correlation ID tying one ticket's queue-wait, attempts, and
 // request span together.
-func (b *Broker) corr(t *ticket) string { return b.host.Name() + "#req" + strconv.Itoa(t.id) }
+func (b *Broker) corr(t *ticket) string { return b.opts.ReplicaID + "#req" + strconv.Itoa(t.id) }
 
 // dispatcher pops tickets in per-tenant round-robin order and hands each
 // to an idle worker. A ticket leaves the queue only once a worker has
@@ -447,7 +536,7 @@ func (b *Broker) pop() *ticket {
 		b.queues[tenant] = q[1:]
 		b.queued--
 		b.ringPos = (b.ringPos + i + 1) % n
-		b.gauges().G("broker.queue_depth@" + b.host.Name()).Add(-1)
+		b.gauges().G("broker.queue_depth@" + b.opts.ReplicaID).Add(-1)
 		return t
 	}
 	return nil
@@ -485,11 +574,17 @@ func (b *Broker) serve(t *ticket) {
 	reply.Accepted = true
 	reply.QueueWait = dequeuedAt - t.enqueuedAt
 
+	if b.opts.OnTicket != nil {
+		b.opts.OnTicket(TicketEvent{Kind: "open", Ticket: b.corr(t), Key: req.Key, Tenant: req.Tenant})
+	}
+
 	deadline := req.Deadline
 	expired := func() bool { return deadline > 0 && b.sim.Now() >= deadline }
 
 	policy := b.opts.Retry
 	abandoned := false
+	forwarded := false
+	var jobIDs []string
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if expired() {
 			// Queue wait or the previous attempt consumed the budget.
@@ -499,6 +594,9 @@ func (b *Broker) serve(t *ticket) {
 		reply.Attempts = attempt
 		res, err := b.attempt(t, attempt, deadline)
 		b.countFaults(res.Job)
+		if res.Job != nil {
+			jobIDs = append(jobIDs, res.Job.ID())
+		}
 		if err == nil {
 			reply.JobID = res.Job.ID()
 			reply.Substitutions += res.Substitutions
@@ -506,6 +604,30 @@ func (b *Broker) serve(t *ticket) {
 			break
 		}
 		class := Classify(err)
+		if class == ClassNoCandidates && b.opts.Forward != nil {
+			// The local shard cannot host this request; offer it to a
+			// peer before burning local retries.
+			fwd, ferr := b.opts.Forward(req, t.ctx)
+			if ferr == nil && fwd.OK() {
+				reply.JobID = fwd.JobID
+				reply.Substitutions += fwd.Substitutions
+				reply.WorldSize = fwd.WorldSize
+				reply.Hops = fwd.Hops + 1
+				forwarded = true
+				break
+			}
+			if errors.Is(ferr, ErrForwardIndeterminate) {
+				// The peer may have committed the co-allocation but the
+				// acknowledgment was lost. Another attempt — local or
+				// forwarded — could allocate the same key twice, so the
+				// request terminates here; at-most-once beats retry.
+				reply.Error = ferr.Error()
+				b.count("fail", "forward-indeterminate", 1)
+				break
+			}
+			// ErrForwardUnavailable or a definitive peer failure: fall
+			// through to the local retry policy.
+		}
 		b.count("retry", string(class), 1)
 		decision := policy.For(class)
 		if !decision.Retry || attempt == policy.MaxAttempts {
@@ -552,6 +674,21 @@ func (b *Broker) serve(t *ticket) {
 		t.enqueuedAt, b.sim.Now(),
 		trace.Arg{Key: "outcome", Val: outcome},
 		trace.Arg{Key: "attempts", Val: strconv.Itoa(reply.Attempts)})
+	if b.opts.OnTicket != nil {
+		ev := TicketEvent{
+			Kind:      "close",
+			Ticket:    b.corr(t),
+			Key:       req.Key,
+			Tenant:    req.Tenant,
+			JobIDs:    jobIDs,
+			Forwarded: forwarded,
+			Err:       reply.Error,
+		}
+		if !forwarded {
+			ev.JobID = reply.JobID
+		}
+		b.opts.OnTicket(ev)
+	}
 	t.reply = reply
 	t.done.Set()
 }
@@ -580,7 +717,14 @@ func (b *Broker) countFaults(job *core.Job) {
 func (b *Broker) attempt(t *ticket, attempt int, deadline time.Duration) (agent.Result, error) {
 	req := t.req
 	start := b.sim.Now()
-	records := b.cache.get()
+	origin := req.Origin
+	if origin == "" {
+		origin = b.opts.ReplicaID
+	}
+	records := b.cache.get(origin, req.ViewAsOf)
+	if b.opts.CandidateFilter != nil {
+		records = b.opts.CandidateFilter(records)
+	}
 	want := req.Sites + req.Spares
 	// Selection trusts the published forecasts exactly (sigma 0): broker
 	// determinism must not depend on concurrent draw order from the
@@ -684,7 +828,7 @@ func (b *Broker) addOrphan(o core.Orphan) {
 	if !known {
 		// Gauge tracks distinct unreaped orphans; a re-recorded key (the
 		// same subjob orphaned again before its reap) must not double-count.
-		b.gauges().G("broker.orphans@" + b.host.Name()).Add(1)
+		b.gauges().G("broker.orphans@" + b.opts.ReplicaID).Add(1)
 	}
 	b.count("orphan", "record", 1)
 	// The event args must not depend on the orphan set's size: concurrent
@@ -730,8 +874,11 @@ func (b *Broker) reapPending() {
 		b.mu.Lock()
 		delete(b.orphans, k)
 		b.mu.Unlock()
-		b.gauges().G("broker.orphans@" + b.host.Name()).Add(-1)
+		b.gauges().G("broker.orphans@" + b.opts.ReplicaID).Add(-1)
 		b.count("orphan", "reaped", 1)
+		if b.opts.OnReap != nil {
+			b.opts.OnReap(k)
+		}
 	}
 }
 
@@ -770,3 +917,14 @@ func (b *Broker) RecordsForTest() []mds.Record {
 	records, _ := b.cache.peek()
 	return records
 }
+
+// CacheView returns the cached directory records and their fetch time
+// without triggering a refresh — what a federation forwarder stamps into
+// Request.ViewAsOf so the serving peer never answers from a staler view.
+func (b *Broker) CacheView() ([]mds.Record, time.Duration) {
+	records, fetchedAt, _ := b.cache.view()
+	return records, fetchedAt
+}
+
+// ReplicaID reports the identity this broker's decisions are keyed by.
+func (b *Broker) ReplicaID() string { return b.opts.ReplicaID }

@@ -465,3 +465,61 @@ func TestClassify(t *testing.T) {
 		}
 	}
 }
+
+// TestBrokerCachePerOriginStaleness exercises the federation contract:
+// hit/stale accounting keys by the origin replica that decided on the
+// view, and a forwarded request carrying ViewAsOf is never answered from
+// a cache fetched before that floor. Several origins submit concurrently
+// while the refresh daemon runs, so `go test -race` also checks the
+// per-origin bookkeeping for data races.
+func TestBrokerCachePerOriginStaleness(t *testing.T) {
+	r := newRig(t, 3, 32, broker.Options{
+		Workers:         3,
+		CacheMaxAge:     time.Hour, // age alone never forces a refresh
+		RefreshInterval: time.Hour,
+		RefreshOffset:   5 * time.Second,
+	})
+	const origins = 3
+	err := r.g.Sim.Run("main", func() {
+		wg := vtime.NewWaitGroup(r.g.Sim)
+		for i := 0; i < origins; i++ {
+			i := i
+			host := r.g.Net.AddHost(fmt.Sprintf("o%d", i))
+			wg.Add(1)
+			r.g.Sim.GoDaemon(fmt.Sprintf("origin%d", i), func() {
+				defer wg.Done()
+				r.g.Sim.Sleep(20*time.Second + time.Duration(i)*131*time.Millisecond)
+				// Served from the 5s-old view: a hit for this origin.
+				submitFrom(t, r, host, broker.Request{
+					Tenant: "t", Sites: 1, ProcsPerSite: 4, Executable: "app",
+					Origin: fmt.Sprintf("fed%02d", i),
+				})
+				// A forward whose origin decided on a fresher view than
+				// the broker holds: must refresh before answering.
+				submitFrom(t, r, host, broker.Request{
+					Tenant: "t", Sites: 1, ProcsPerSite: 4, Executable: "app",
+					Origin:   fmt.Sprintf("fed%02d", i),
+					ViewAsOf: r.g.Sim.Now(),
+				})
+			})
+		}
+		wg.Wait()
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	c := r.g.Counters
+	for i := 0; i < origins; i++ {
+		origin := fmt.Sprintf("fed%02d", i)
+		if got := c.Get(trace.Key("broker", "cache", "hit", origin)); got != 1 {
+			t.Errorf("broker.cache.hit@%s = %d, want 1", origin, got)
+		}
+		if got := c.Get(trace.Key("broker", "cache", "stale", origin)); got != 1 {
+			t.Errorf("broker.cache.stale@%s = %d, want 1", origin, got)
+		}
+	}
+	// Nothing was attributed to the serving process's own id.
+	if got := c.Get(trace.Key("broker", "cache", "hit", "broker0")); got != 0 {
+		t.Errorf("broker.cache.hit@broker0 = %d, want 0 (all lookups carried origins)", got)
+	}
+}

@@ -17,9 +17,19 @@ import (
 // answering. This replaces the per-request directory query of the
 // in-process agents — the paper's [14] point that load information is
 // only worth acting on while it remains valid, applied as a cache policy.
+//
+// Staleness is keyed per requesting replica id, not per process: a
+// forwarded request carries the fetch time of the view its origin
+// replica decided on (Request.ViewAsOf), and a lookup on the origin's
+// behalf is only a hit if the local copy is at least that fresh — a
+// forward is never answered from a view staler than the one that
+// justified it. Hit/stale counters are likewise attributed to the
+// origin replica (broker.cache.hit@<replica-id>), so a federation's
+// cache behavior reads per decider, not per serving process.
 type cache struct {
 	sim      *vtime.Sim
 	host     *transport.Host
+	replica  string // owning replica id: scope for refresh counters
 	dir      transport.Addr
 	maxAge   time.Duration
 	interval time.Duration
@@ -35,11 +45,15 @@ type cache struct {
 	have      bool
 }
 
-func newCache(host *transport.Host, dir transport.Addr, maxAge, interval, offset time.Duration) *cache {
+func newCache(host *transport.Host, replica string, dir transport.Addr, maxAge, interval, offset time.Duration) *cache {
 	sim := host.Network().Sim()
+	if replica == "" {
+		replica = host.Name()
+	}
 	c := &cache{
 		sim:      sim,
 		host:     host,
+		replica:  replica,
 		dir:      dir,
 		maxAge:   maxAge,
 		interval: interval,
@@ -72,13 +86,13 @@ func (c *cache) refresh() {
 	start := c.sim.Now()
 	client, err := mds.DialCtx(c.host, c.dir, c.ctx)
 	if err != nil {
-		c.count("refresh-error", 1)
+		c.count("refresh-error", c.replica, 1)
 		return
 	}
 	records, err := client.Query(mds.Filter{})
 	client.Close()
 	if err != nil {
-		c.count("refresh-error", 1)
+		c.count("refresh-error", c.replica, 1)
 		return
 	}
 	c.mu.Lock()
@@ -86,24 +100,29 @@ func (c *cache) refresh() {
 	c.fetchedAt = c.sim.Now()
 	c.have = true
 	c.mu.Unlock()
-	c.count("refresh", 1)
+	c.count("refresh", c.replica, 1)
 	c.host.Network().Tracer().SpanCtx(c.ctx, "broker", "cache-refresh", c.host.Name(), "cache", "", start,
 		trace.Arg{Key: "records", Val: strconv.Itoa(len(records))})
 }
 
-// get returns the cached records, refreshing synchronously when the copy
-// is older than the staleness bound (or absent). Counters classify every
-// lookup as hit or stale.
-func (c *cache) get() []mds.Record {
+// get returns the cached records on behalf of the given replica id,
+// refreshing synchronously when the copy is older than the staleness
+// bound, absent, or fetched before asOf (the view floor a forwarding
+// replica demands). Counters classify every lookup as hit or stale under
+// the requesting replica's key.
+func (c *cache) get(origin string, asOf time.Duration) []mds.Record {
+	if origin == "" {
+		origin = c.replica
+	}
 	c.mu.Lock()
-	fresh := c.have && c.sim.Now()-c.fetchedAt <= c.maxAge
+	fresh := c.have && c.sim.Now()-c.fetchedAt <= c.maxAge && c.fetchedAt >= asOf
 	records := c.records
 	c.mu.Unlock()
 	if fresh {
-		c.count("hit", 1)
+		c.count("hit", origin, 1)
 		return records
 	}
-	c.count("stale", 1)
+	c.count("stale", origin, 1)
 	c.refresh()
 	c.mu.Lock()
 	records = c.records
@@ -111,16 +130,23 @@ func (c *cache) get() []mds.Record {
 	return records
 }
 
-// peek returns the cached records and their age without refreshing.
+// peek returns the cached records, their age, and the fetch time without
+// refreshing.
 func (c *cache) peek() ([]mds.Record, time.Duration) {
+	records, _, age := c.view()
+	return records, age
+}
+
+// view returns the cached records with their fetch time and age.
+func (c *cache) view() ([]mds.Record, time.Duration, time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.have {
-		return nil, 0
+		return nil, 0, 0
 	}
-	return c.records, c.sim.Now() - c.fetchedAt
+	return c.records, c.fetchedAt, c.sim.Now() - c.fetchedAt
 }
 
-func (c *cache) count(verb string, delta int64) {
-	c.host.Network().Counters().Add(trace.Key("broker", "cache", verb, c.host.Name()), delta)
+func (c *cache) count(verb, scope string, delta int64) {
+	c.host.Network().Counters().Add(trace.Key("broker", "cache", verb, scope), delta)
 }

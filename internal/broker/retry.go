@@ -12,6 +12,15 @@ import (
 // the request needs.
 var ErrNoCandidates = errors.New("broker: not enough candidate resources")
 
+// ErrForwardUnavailable reports that a Forward hook found no peer worth
+// offering the request to; the local retry policy resumes.
+var ErrForwardUnavailable = errors.New("broker: no forwarding peer available")
+
+// ErrForwardIndeterminate reports a forward whose outcome is unknown —
+// the peer accepted the connection but the reply was lost. The request
+// must not be retried: the peer may have committed it.
+var ErrForwardIndeterminate = errors.New("broker: forward outcome indeterminate")
+
 // Class partitions co-allocation failures by what went wrong, so the
 // retry policy can react differently to congestion, churn, and dead
 // resources — the failure taxonomy of the paper's Section 3.2 lifted to

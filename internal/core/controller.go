@@ -71,6 +71,13 @@ type ControllerConfig struct {
 	// resource manager answers. The callback runs on the cancel daemon
 	// and must not block.
 	OnOrphan func(Orphan)
+	// OnAllocation, when set, is called the moment a subjob obtains an
+	// LRM job contact — the earliest point at which remote processors may
+	// be held on this job's behalf. A federated broker journals these so
+	// a peer can reap the allocation if this controller's process dies
+	// mid-2PC. The callback runs on the submission path and must not
+	// block.
+	OnAllocation func(job, subjob string, rm transport.Addr, contact string)
 	// Bugs injects deliberately broken protocol behavior for simulation
 	// testing. Leave zero outside internal/dst self-tests.
 	Bugs Bugs

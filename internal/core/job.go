@@ -381,6 +381,9 @@ func (j *Job) submitSubjob(sj *subjob) {
 	sj.status = SJSubmitted
 	sj.submittedAt = c.sim.Now()
 	j.mu.Unlock()
+	if c.cfg.OnAllocation != nil {
+		c.cfg.OnAllocation(j.id, sj.spec.Label, sj.spec.Contact, contact)
+	}
 	j.emit(EvSubmitted, sj, "")
 	j.poke()
 

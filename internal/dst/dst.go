@@ -55,6 +55,10 @@ func (r SeedReport) Text() string {
 	fmt.Fprintf(&b, "seed %-6d %-7s machines=%d jobs=%d committed=%d aborted=%d faults=%d orphans=%d end=%v",
 		r.Seed, r.Result.Scenario.Driver, len(r.Result.Scenario.Machines), r.Result.Jobs,
 		r.Result.Committed, r.Result.Aborted, r.Result.Faults, r.Result.Orphans, r.Result.End)
+	if r.Result.Scenario.Driver == DriverFed {
+		fmt.Fprintf(&b, " replicas=%d elections=%d handoffs=%d forwards=%d",
+			r.Result.Scenario.Replicas, r.Result.Elections, r.Result.Handoffs, r.Result.Forwards)
+	}
 	if r.Result.OK() {
 		b.WriteString("  ok\n")
 		return b.String()

@@ -67,6 +67,83 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// fedProfile forces every generated scenario through the federated
+// broker stack.
+func fedProfile() Profile {
+	p := SmokeProfile
+	p.BrokerProb, p.FedProb = 1, 1
+	return p
+}
+
+// TestFedGeneratedSeedsClean sweeps forced-federation scenarios — replica
+// groups with crash/restart schedules on top of the usual machine faults.
+// The check.sh fed-smoke gate runs a wider band through cmd/dstgrid.
+func TestFedGeneratedSeedsClean(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(Generate(seed, fedProfile()), RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: violation: %s", seed, v)
+		}
+	}
+}
+
+// TestFedDeterminism: a federated run — replica crashes, elections,
+// hand-offs and all — yields byte-identical audit reports per seed. Seed
+// 1 draws broker-crash faults; seed 4 draws none.
+func TestFedDeterminism(t *testing.T) {
+	crashes := 0
+	for _, seed := range []int64{1, 4} {
+		sc := Generate(seed, fedProfile())
+		if sc.Driver != DriverFed {
+			t.Fatalf("seed %d: expected fed driver, got %s", seed, sc.Driver)
+		}
+		for _, f := range sc.Faults {
+			if f.Kind == "broker-crash" {
+				crashes++
+			}
+		}
+		a := RunSeed(seed, fedProfile(), RunOptions{}, 0)
+		b := RunSeed(seed, fedProfile(), RunOptions{}, 0)
+		if a.JSON() != b.JSON() {
+			t.Errorf("seed %d: reports differ:\n%s\n%s", seed, a.JSON(), b.JSON())
+		}
+	}
+	if crashes == 0 {
+		t.Error("neither seed drew a broker-crash fault; pick seeds that do")
+	}
+}
+
+// TestFedCorpusKillsShardOwner: the corpus scenario that crashes the
+// shard owner mid-flight (and later the leader) must actually exercise
+// the machinery it regresses — an election and journal hand-offs — not
+// just pass vacuously.
+func TestFedCorpusKillsShardOwner(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fed-kill-shard-owner-mid-2pc.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Elections == 0 {
+		t.Error("no leader election despite the leader crashing")
+	}
+	if res.Handoffs == 0 {
+		t.Error("no journal hand-off despite a replica dying with work in flight")
+	}
+}
+
 // TestScenarioRoundTrip locks the replay format: a generated scenario
 // survives JSON encode/decode unchanged.
 func TestScenarioRoundTrip(t *testing.T) {

@@ -2,9 +2,11 @@ package dst
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cogrid/internal/core"
+	"cogrid/internal/federation"
 	"cogrid/internal/grid"
 	"cogrid/internal/trace"
 )
@@ -14,7 +16,7 @@ type Violation struct {
 	// Invariant names the rule: "kernel", "commit-votes",
 	// "single-decision", "required-abort", "abort-no-exec",
 	// "job-quiescence", "leaked-jobs", "processor-conservation",
-	// "orphan-reap", "trace".
+	// "orphan-reap", "at-most-once", "handoff-reap", "trace".
 	Invariant string `json:"invariant"`
 	// Job is the co-allocation id, when the violation is per-job.
 	Job    string `json:"job,omitempty"`
@@ -32,12 +34,15 @@ func (v Violation) String() string {
 // (machines, counters, tracer), every job the controller accepted with
 // its full event history, the orphan ledger, and the kernel verdict.
 type observations struct {
-	sc       Scenario
-	g        *grid.Grid
-	jobs     []*core.Job
-	deadlock error
-	recorded int64
-	reaped   int64
+	sc   Scenario
+	g    *grid.Grid
+	jobs []*core.Job
+	// fedEntries is the federation's merged replicated journal (fed
+	// driver only), already sorted by key.
+	fedEntries []federation.Entry
+	deadlock   error
+	recorded   int64
+	reaped     int64
 }
 
 // checkInvariants runs the whole library. The order of violations is
@@ -61,7 +66,53 @@ func checkInvariants(o observations) []Violation {
 			Detail:    fmt.Sprintf("%d orphans recorded but %d reaped", o.recorded, o.reaped),
 		})
 	}
+	if o.sc.Driver == DriverFed {
+		v = append(v, checkFederation(o)...)
+	}
 	v = append(v, checkTrace(o)...)
+	return v
+}
+
+// checkFederation audits the replicated journal after a federated run.
+//
+// at-most-once: whatever crashed, forwarded, or was retried, each request
+// key commits at most one ticket across the whole replica group — a
+// second commit is a duplicate allocation of the same work.
+//
+// handoff-reap: no journal entry is still open at quiescence. An open
+// ticket is a 2PC stuck mid-flight; an open allocation or orphan is a
+// machine-side job nobody settled — a dead replica's duty that no peer
+// picked up.
+func checkFederation(o observations) []Violation {
+	var v []Violation
+	committed := map[string][]string{}
+	for _, e := range o.fedEntries {
+		if e.Kind == federation.KindTicket && e.Committed && e.ReqKey != "" {
+			committed[e.ReqKey] = append(committed[e.ReqKey], e.Key)
+		}
+	}
+	keys := make([]string, 0, len(committed))
+	for k := range committed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if tickets := committed[k]; len(tickets) > 1 {
+			v = append(v, Violation{
+				Invariant: "at-most-once",
+				Detail:    fmt.Sprintf("request key %s committed by %d tickets: %v", k, len(tickets), tickets),
+			})
+		}
+	}
+	for _, e := range o.fedEntries {
+		if e.State == federation.StateOpen {
+			v = append(v, Violation{
+				Invariant: "handoff-reap",
+				Detail: fmt.Sprintf("journal entry %s (%s from %s, owner %s) still open at quiescence",
+					e.Key, e.Kind, e.Origin, e.Owner),
+			})
+		}
+	}
 	return v
 }
 

@@ -3,6 +3,7 @@ package dst
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"cogrid/internal/broker"
 	"cogrid/internal/core"
 	"cogrid/internal/failure"
+	"cogrid/internal/federation"
 	"cogrid/internal/gram"
 	"cogrid/internal/grid"
 	"cogrid/internal/lrm"
@@ -29,14 +31,21 @@ type RunOptions struct {
 
 // RunResult is one scenario execution plus its invariant verdict.
 type RunResult struct {
-	Scenario   Scenario      `json:"scenario"`
-	Violations []Violation   `json:"violations,omitempty"`
-	Jobs       int           `json:"jobs"`
-	Committed  int           `json:"committed"`
-	Aborted    int           `json:"aborted"`
-	Faults     int           `json:"faults"`
-	Orphans    int64         `json:"orphans"`
-	End        time.Duration `json:"end"`
+	Scenario   Scenario    `json:"scenario"`
+	Violations []Violation `json:"violations,omitempty"`
+	Jobs       int         `json:"jobs"`
+	Committed  int         `json:"committed"`
+	Aborted    int         `json:"aborted"`
+	Faults     int         `json:"faults"`
+	Orphans    int64       `json:"orphans"`
+	// Elections, Handoffs, and Forwards summarize the federation's
+	// activity across all replicas (fed driver only): election wins,
+	// journal entries handed off from dead replicas, and forwarded
+	// requests committed by a peer.
+	Elections int64         `json:"elections,omitempty"`
+	Handoffs  int64         `json:"handoffs,omitempty"`
+	Forwards  int64         `json:"forwards,omitempty"`
+	End       time.Duration `json:"end"`
 }
 
 // OK reports whether the run held every invariant.
@@ -150,10 +159,14 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 	// The submit-side peer a partition cuts the machine off from.
 	peer := "workstation"
 	var b *broker.Broker
+	var fed *federation.Federation
 	var ctrl *core.Controller
 	var rp *reaper
-	if sc.Driver == DriverBroker {
+	if sc.Driver == DriverBroker || sc.Driver == DriverFed {
 		peer = "broker0"
+		if sc.Driver == DriverFed {
+			peer = FedReplicaName(0)
+		}
 		dirHost := g.Net.AddHost("mds0")
 		if _, err := mds.NewServer(dirHost, 0); err != nil {
 			return RunResult{}, err
@@ -163,19 +176,29 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 			mds.Publish(g.Machine(ms.Name), dir, g.Contact(ms.Name), 31*time.Second,
 				publishCounts(sc, ms.Procs)...)
 		}
-		var err error
-		b, err = broker.New(g.Net.AddHost("broker0"), core.ControllerConfig{
+		ctrlCfg := core.ControllerConfig{
 			Credential: g.UserCred,
 			Registry:   g.Registry,
 			Bugs:       opts.Bugs,
-		}, broker.Options{
+		}
+		bOpts := broker.Options{
 			Directory:       dir,
 			QueueBound:      16,
 			Workers:         3,
 			CacheMaxAge:     45 * time.Second,
 			RefreshInterval: 40 * time.Second,
 			RetryAfter:      15 * time.Second,
-		})
+		}
+		var err error
+		if sc.Driver == DriverFed {
+			fed, err = federation.New(g.Net, ctrlCfg, federation.Options{
+				Replicas:  sc.Replicas,
+				Directory: dir,
+				Broker:    bOpts,
+			})
+		} else {
+			b, err = broker.New(g.Net.AddHost("broker0"), ctrlCfg, bOpts)
+		}
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -206,7 +229,7 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 	}
 
 	clientHosts := make([]*transport.Host, len(sc.Jobs))
-	if sc.Driver == DriverBroker {
+	if sc.Driver == DriverBroker || sc.Driver == DriverFed {
 		for i := range sc.Jobs {
 			clientHosts[i] = g.Net.AddHost(fmt.Sprintf("client%02d", i))
 		}
@@ -215,6 +238,23 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 	var mu sync.Mutex
 	err := g.Sim.Run("dst-driver", func() {
 		plan.Apply(g)
+		// Broker-crash faults act on replica processes, not machines, so
+		// the failure plan leaves them to the driver.
+		for _, fs := range sc.Faults {
+			if fs.Kind != "broker-crash" {
+				continue
+			}
+			fs := fs
+			r := fed.Replica(fedReplicaIndex(fs.Target))
+			g.Sim.GoDaemon(fmt.Sprintf("dst-fed-crash:%s", fs.Target), func() {
+				g.Sim.SleepUntil(fs.At)
+				r.Crash()
+				g.Sim.Sleep(fs.Dur)
+				if err := r.Restart(); err != nil {
+					panic(fmt.Sprintf("dst: replica %s restart: %v", fs.Target, err))
+				}
+			})
+		}
 		for _, bg := range sc.Background {
 			workload.Drive(g.Sim, g.Machine(bg.Machine), "bg", []workload.Job{{
 				At: bg.At, Size: bg.Size, Runtime: bg.Runtime, Limit: bg.Limit,
@@ -231,9 +271,17 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 				defer wg.Done()
 				g.Sim.SleepUntil(j.At)
 				committed := false
-				if sc.Driver == DriverBroker {
-					committed = submitBroker(clientHosts[i], b, i, j)
-				} else {
+				switch sc.Driver {
+				case DriverBroker:
+					committed = submitBroker(clientHosts[i], b.Contact(), i, j, "")
+				case DriverFed:
+					// Round-robin across replicas, each request under a
+					// stable idempotency key, so the at-most-once audit can
+					// group every replica's tickets by request.
+					r := fed.Replica(i % sc.Replicas)
+					committed = submitBroker(clientHosts[i], r.BrokerContact(), i, j,
+						fmt.Sprintf("req%02d", i))
+				default:
 					committed = submitDuroc(g, ctrl, i, j, sc.WorkTime)
 				}
 				mu.Lock()
@@ -253,32 +301,70 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 			g.Sim.SleepUntil(healBy)
 		}
 		g.Sim.Sleep(maxTime + sc.WorkTime + 2*time.Minute)
+		if fed != nil {
+			// Federated hand-off takes longer to settle: a crash must be
+			// declared dead (missed heartbeats), its journal entries handed
+			// off, and the new owner's reap sweeps must reach the machines.
+			g.Sim.Sleep(3 * fed.Options().PeerReapInterval)
+		}
 	})
 	res.End = g.Sim.Now()
 	res.Faults = len(sc.Faults)
 
 	var jobs []*core.Job
-	if sc.Driver == DriverBroker {
-		jobs = b.Controller().Jobs()
-	} else {
-		jobs = ctrl.Jobs()
-	}
+	var fedEntries []federation.Entry
 	var recorded, reaped int64
-	if sc.Driver == DriverBroker {
+	switch sc.Driver {
+	case DriverBroker:
+		jobs = b.Controller().Jobs()
 		recorded = g.Counters.Get(trace.Key("broker", "orphan", "record", "broker0"))
 		reaped = g.Counters.Get(trace.Key("broker", "orphan", "reaped", "broker0"))
-	} else {
+	case DriverFed:
+		// Audit every incarnation of every replica: a crashed process's
+		// jobs still owe the 2PC safety invariants for everything they did
+		// before dying.
+		for _, r := range fed.Replicas() {
+			for _, rb := range r.Brokers() {
+				jobs = append(jobs, rb.Controller().Jobs()...)
+			}
+		}
+		fedEntries = fed.MergedJournal()
+		// Orphan accounting lives in the replicated journal here: a dead
+		// replica's orphans are reaped by peers, not by their recorder.
+		for _, e := range fedEntries {
+			if e.Kind == federation.KindOrphan {
+				recorded++
+				if e.State != federation.StateOpen {
+					reaped++
+				}
+			}
+		}
+		for _, cv := range g.Counters.Snapshot() {
+			switch {
+			case strings.HasPrefix(cv.Name, "fed.election.win@"):
+				res.Elections += cv.Value
+			case strings.HasPrefix(cv.Name, "fed.handoff.alloc@"),
+				strings.HasPrefix(cv.Name, "fed.handoff.orphan@"),
+				strings.HasPrefix(cv.Name, "fed.handoff.ticket@"):
+				res.Handoffs += cv.Value
+			case strings.HasPrefix(cv.Name, "fed.forward.commit@"):
+				res.Forwards += cv.Value
+			}
+		}
+	default:
+		jobs = ctrl.Jobs()
 		recorded, reaped = rp.counts()
 	}
 	res.Orphans = recorded
 
 	res.Violations = checkInvariants(observations{
-		sc:       sc,
-		g:        g,
-		jobs:     jobs,
-		deadlock: err,
-		recorded: recorded,
-		reaped:   reaped,
+		sc:         sc,
+		g:          g,
+		jobs:       jobs,
+		fedEntries: fedEntries,
+		deadlock:   err,
+		recorded:   recorded,
+		reaped:     reaped,
 	})
 	return res, nil
 }
@@ -357,6 +443,10 @@ func materializeFaults(faults []FaultSpec, peer string) (failure.Plan, time.Dura
 			plan = append(plan,
 				failure.Action{At: f.At, Kind: failure.RevokeUser, Target: grid.DefaultUser},
 				failure.Action{At: end, Kind: failure.ReinstateUser, Target: grid.DefaultUser})
+		case "broker-crash":
+			// Replica processes are not grid machines; the driver crashes
+			// and restarts them directly. Only the heal horizon above
+			// matters here.
 		}
 	}
 	return plan.Sorted(), healBy
@@ -411,18 +501,20 @@ func submitDuroc(g *grid.Grid, ctrl *core.Controller, i int, j JobSpec, workTime
 	return true
 }
 
-// submitBroker drives one co-allocation through the broker service.
-func submitBroker(host *transport.Host, b *broker.Broker, i int, j JobSpec) bool {
+// submitBroker drives one co-allocation through a broker endpoint — a
+// standalone broker, or one federation replica (key set).
+func submitBroker(host *transport.Host, addr transport.Addr, i int, j JobSpec, key string) bool {
 	ctx := trace.NewRequest(host.Name())
 	sim := host.Network().Sim()
 	start := sim.Now()
-	c, err := broker.DialCtx(host, b.Contact(), ctx)
+	c, err := broker.DialCtx(host, addr, ctx)
 	if err != nil {
 		return false
 	}
 	defer c.Close()
 	budget := j.CommitTimeout + j.StartupTimeout + 3*time.Minute
 	reply, _, err := c.SubmitWait(broker.Request{
+		Key:            key,
 		Tenant:         j.Tenant,
 		Sites:          j.Sites,
 		ProcsPerSite:   j.ProcsPerSite,

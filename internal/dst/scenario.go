@@ -18,7 +18,25 @@ const (
 	// DriverBroker submits through the multi-tenant broker service —
 	// the full GRAB/DUROC/broker stack.
 	DriverBroker = "broker"
+	// DriverFed submits through a federation of broker replicas —
+	// sharded ownership, leader election, forwarding, and peer hand-off
+	// of a crashed replica's in-flight allocations.
+	DriverFed = "fed"
 )
+
+// FedReplicaName is the host name of federation replica i, matching the
+// federation package's default naming. Broker-crash faults target these.
+func FedReplicaName(i int) string { return fmt.Sprintf("fed%02d", i) }
+
+// fedReplicaIndex parses a replica host name back to its index; -1 when
+// the name is not a replica.
+func fedReplicaIndex(name string) int {
+	var i int
+	if n, err := fmt.Sscanf(name, "fed%02d", &i); n != 1 || err != nil {
+		return -1
+	}
+	return i
+}
 
 // MachineSpec is one machine in the scenario's grid.
 type MachineSpec struct {
@@ -58,10 +76,11 @@ type JobSpec struct {
 // healing inside the run is what entitles the zero-leak invariants.
 type FaultSpec struct {
 	// Kind is one of "hang", "slow", "partition", "down", "crash",
-	// "revoke".
+	// "revoke", "broker-crash".
 	Kind string `json:"kind"`
-	// Target is the machine name ("revoke" targets the grid user and
-	// leaves it empty).
+	// Target is the machine name; "broker-crash" targets a federation
+	// replica ("fedNN") instead, and "revoke" targets the grid user and
+	// leaves it empty.
 	Target string        `json:"target,omitempty"`
 	At     time.Duration `json:"at"`
 	Dur    time.Duration `json:"dur"`
@@ -85,8 +104,11 @@ type Scenario struct {
 	// Seed feeds the kernel's deterministic tiebreak RNG; the scenario
 	// content itself is explicit, so editing the fields does not shift
 	// any other randomness.
-	Seed       int64           `json:"seed"`
-	Driver     string          `json:"driver"`
+	Seed   int64  `json:"seed"`
+	Driver string `json:"driver"`
+	// Replicas sizes the broker peer group for the fed driver (zero
+	// otherwise).
+	Replicas   int             `json:"replicas,omitempty"`
 	Machines   []MachineSpec   `json:"machines"`
 	WorkTime   time.Duration   `json:"work_time"`
 	Jobs       []JobSpec       `json:"jobs"`
@@ -96,8 +118,15 @@ type Scenario struct {
 
 // Validate rejects scenarios the runner cannot execute.
 func (s Scenario) Validate() error {
-	if s.Driver != DriverDuroc && s.Driver != DriverBroker {
+	if s.Driver != DriverDuroc && s.Driver != DriverBroker && s.Driver != DriverFed {
 		return fmt.Errorf("dst: unknown driver %q", s.Driver)
+	}
+	if s.Driver == DriverFed {
+		if s.Replicas < 1 || s.Replicas > 16 {
+			return fmt.Errorf("dst: fed driver needs 1..16 replicas, got %d", s.Replicas)
+		}
+	} else if s.Replicas != 0 {
+		return fmt.Errorf("dst: driver %s takes no replicas", s.Driver)
 	}
 	if len(s.Machines) == 0 {
 		return fmt.Errorf("dst: no machines")
@@ -131,7 +160,7 @@ func (s Scenario) Validate() error {
 					return fmt.Errorf("dst: job %d has bad subjob type %q", i, sj.Type)
 				}
 			}
-		case DriverBroker:
+		case DriverBroker, DriverFed:
 			if j.Sites <= 0 || j.ProcsPerSite <= 0 {
 				return fmt.Errorf("dst: broker job %d needs sites and procs_per_site", i)
 			}
@@ -142,6 +171,13 @@ func (s Scenario) Validate() error {
 		case "hang", "slow", "partition", "down", "crash":
 			if _, ok := byName[f.Target]; !ok {
 				return fmt.Errorf("dst: fault %s targets unknown machine %q", f.Kind, f.Target)
+			}
+		case "broker-crash":
+			if s.Driver != DriverFed {
+				return fmt.Errorf("dst: broker-crash fault needs the fed driver")
+			}
+			if i := fedReplicaIndex(f.Target); i < 0 || i >= s.Replicas {
+				return fmt.Errorf("dst: broker-crash targets unknown replica %q", f.Target)
 			}
 		case "revoke":
 		default:
@@ -197,6 +233,11 @@ type Profile struct {
 	// BrokerProb is the probability the scenario exercises the broker
 	// stack instead of direct DUROC submission.
 	BrokerProb float64
+	// FedProb is the probability a broker scenario is upgraded to a
+	// federated one: a broker replica group with its own crash/restart
+	// fault schedule. Drawn from a separate RNG stream so pre-federation
+	// seeds keep their exact scenarios.
+	FedProb float64
 	// BackgroundProb is the per-batch-machine probability of a competing
 	// Poisson background workload.
 	BackgroundProb float64
@@ -214,6 +255,7 @@ var SmokeProfile = Profile{
 	MaxCount:       3,
 	FaultProb:      0.5,
 	BrokerProb:     0.35,
+	FedProb:        0.4,
 	BackgroundProb: 0.4,
 	Window:         90 * time.Second,
 }
@@ -227,6 +269,7 @@ var DefaultProfile = Profile{
 	MaxCount:       4,
 	FaultProb:      0.6,
 	BrokerProb:     0.4,
+	FedProb:        0.4,
 	BackgroundProb: 0.6,
 	Window:         3 * time.Minute,
 }
@@ -333,6 +376,26 @@ func Generate(seed int64, p Profile) Scenario {
 			At:   start + time.Duration(rng.Float64()*float64(p.Window)),
 			Dur:  20*time.Second + time.Duration(rng.Float64()*float64(40*time.Second)),
 		})
+	}
+	// Federation-ness comes from its own RNG stream, drawn after every
+	// main-stream draw: whether or not the upgrade happens, pre-existing
+	// seeds generate byte-identical base scenarios.
+	frng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	if s.Driver == DriverBroker && frng.Float64() < p.FedProb {
+		s.Driver = DriverFed
+		s.Replicas = 2 + frng.Intn(3)
+		// Crash (and later restart) at most Replicas-1 replicas, each a
+		// distinct target, so the group always keeps a survivor to
+		// inherit the dead replicas' journal entries.
+		crashes := frng.Intn(s.Replicas)
+		for i := 0; i < crashes; i++ {
+			s.Faults = append(s.Faults, FaultSpec{
+				Kind:   "broker-crash",
+				Target: FedReplicaName(i),
+				At:     start + time.Duration(frng.Float64()*float64(p.Window)),
+				Dur:    30*time.Second + time.Duration(frng.Float64()*float64(time.Minute)),
+			})
+		}
 	}
 	sort.SliceStable(s.Faults, func(i, k int) bool { return s.Faults[i].At < s.Faults[k].At })
 	return s

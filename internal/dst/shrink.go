@@ -84,6 +84,23 @@ func reductions(sc Scenario) []Scenario {
 		c.Faults = append(c.Faults[:i:i], c.Faults[i+1:]...)
 		out = append(out, c)
 	}
+	// Shrink the replica group, but only while no crash fault names the
+	// replica being dropped — those reductions were already proposed.
+	if sc.Driver == DriverFed && sc.Replicas > 1 {
+		last := FedReplicaName(sc.Replicas - 1)
+		targeted := false
+		for _, f := range sc.Faults {
+			if f.Kind == "broker-crash" && f.Target == last {
+				targeted = true
+				break
+			}
+		}
+		if !targeted {
+			c := clone(sc)
+			c.Replicas--
+			out = append(out, c)
+		}
+	}
 	for i, j := range sc.Jobs {
 		for k := range j.Subjobs {
 			if len(j.Subjobs) <= 1 {
@@ -124,10 +141,10 @@ func reductions(sc Scenario) []Scenario {
 }
 
 // dropUnusedMachines removes machines no subjob, fault, or background
-// job references. Broker scenarios keep every machine: placement there
-// is the broker's choice, not the scenario's.
+// job references. Broker and fed scenarios keep every machine: placement
+// there is the broker's choice, not the scenario's.
 func dropUnusedMachines(sc Scenario) (Scenario, bool) {
-	if sc.Driver == DriverBroker {
+	if sc.Driver != DriverDuroc {
 		return sc, false
 	}
 	used := map[string]bool{}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fedSmokeConfig is the seconds-fast B6 setting CI runs: the stock grid
+// with just the one- and two-replica rows.
+func fedSmokeConfig() FederationLoadConfig {
+	return FederationLoadConfig{ReplicaCounts: []int{1, 2}}
+}
+
+// TestFederationScalingBeatsSingleReplica locks the study's acceptance
+// criterion: two replicas sustain higher admitted throughput than one at
+// no worse tail latency — even though the two-replica row also absorbs a
+// replica crash and restart mid-run, which the single-replica row is
+// spared.
+func TestFederationScalingBeatsSingleReplica(t *testing.T) {
+	res := FederationLoadStudy(fedSmokeConfig())
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(res.Rows))
+	}
+	one, two := res.Rows[0], res.Rows[1]
+	if one.Replicas != 1 || two.Replicas != 2 {
+		t.Fatalf("row order wrong: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.Completed < row.Requests*4/5 {
+			t.Errorf("%d replicas: only %d/%d completed", row.Replicas, row.Completed, row.Requests)
+		}
+	}
+	if two.ThroughputPerMin <= one.ThroughputPerMin {
+		t.Errorf("2 replicas did not beat 1: %.3f/min vs %.3f/min",
+			two.ThroughputPerMin, one.ThroughputPerMin)
+	}
+	if two.P99 > one.P99 {
+		t.Errorf("2 replicas worsened p99: %v vs %v", two.P99, one.P99)
+	}
+	// The two-replica row must have earned its numbers under failure:
+	// one crash, with the dead replica's journal entries handed off.
+	if two.Crashes != 1 {
+		t.Errorf("expected exactly one crash in the 2-replica row, got %d", two.Crashes)
+	}
+	if two.Handoffs == 0 {
+		t.Error("replica crash produced no journal hand-offs")
+	}
+	if two.Elections == 0 {
+		t.Error("leader crash triggered no election")
+	}
+	if one.Crashes != 0 || one.Failovers != 0 {
+		t.Errorf("single-replica row saw crashes/failovers: %+v", one)
+	}
+}
+
+// TestFederationLoadDeterminism: the same config yields an identical row
+// and a byte-identical Prometheus exposition — elections, hand-offs,
+// failovers and all. This is the observatory's determinism contract
+// extended to the federation series.
+func TestFederationLoadDeterminism(t *testing.T) {
+	cfg := fedSmokeConfig()
+	rowA, gA := FederationLoadRun(cfg, 2)
+	rowB, gB := FederationLoadRun(cfg, 2)
+	if !reflect.DeepEqual(rowA, rowB) {
+		t.Errorf("rows differ:\n%+v\n%+v", rowA, rowB)
+	}
+	var a, b bytes.Buffer
+	if err := gA.WriteMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := gB.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Prometheus expositions differ between identical runs")
+	}
+	// The exposition must actually carry the federation series: the
+	// per-replica queue depth gauge, the liveness gauge, and the
+	// election / hand-off / forward histograms.
+	text := a.String()
+	for _, want := range []string{
+		"cogrid_fed_live_replicas", "cogrid_fed_election_latency",
+		"cogrid_fed_handoff_time", "cogrid_broker_queue_depth",
+	} {
+		if !bytes.Contains(a.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q:\n%.2000s", want, text)
+		}
+	}
+}

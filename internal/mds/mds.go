@@ -55,6 +55,18 @@ type Filter struct {
 	MaxAge time.Duration `json:"max_age,omitempty"`
 }
 
+// Meta is one control-plane key/value published through the directory —
+// how a federation leader makes its shard map discoverable by replicas
+// that were not up when it was broadcast (Section 2.2's information
+// service carrying co-allocator state, not just resource records). Meta
+// entries do not expire: a control-plane document stays authoritative
+// until replaced by a newer version.
+type Meta struct {
+	Key       string        `json:"key"`
+	Value     string        `json:"value"`
+	UpdatedAt time.Duration `json:"updated_at"`
+}
+
 // Server is a directory service.
 type Server struct {
 	sim *vtime.Sim
@@ -62,6 +74,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	records map[string]Record
+	meta    map[string]Meta
 }
 
 // NewServer starts a directory on host with the given record TTL
@@ -74,6 +87,7 @@ func NewServer(host *transport.Host, ttl time.Duration) (*Server, error) {
 		sim:     host.Network().Sim(),
 		ttl:     ttl,
 		records: make(map[string]Record),
+		meta:    make(map[string]Meta),
 	}
 	l, err := host.Listen(ServiceName)
 	if err != nil {
@@ -115,6 +129,33 @@ func (s *Server) handleCall(sc *rpc.ServerConn, method string, body json.RawMess
 			return nil, err
 		}
 		return s.query(f), nil
+	case "putmeta":
+		var m Meta
+		if err := rpc.Decode(body, &m); err != nil {
+			return nil, err
+		}
+		if m.Key == "" {
+			return nil, fmt.Errorf("mds: meta without key")
+		}
+		m.UpdatedAt = s.sim.Now()
+		s.mu.Lock()
+		s.meta[m.Key] = m
+		s.mu.Unlock()
+		return nil, nil
+	case "getmeta":
+		var args struct {
+			Key string `json:"key"`
+		}
+		if err := rpc.Decode(body, &args); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		m, ok := s.meta[args.Key]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("mds: no meta %q", args.Key)
+		}
+		return m, nil
 	}
 	return nil, fmt.Errorf("mds: unknown method %s", method)
 }
@@ -187,6 +228,20 @@ func (c *Client) Query(f Filter) ([]Record, error) {
 	var out []Record
 	err := c.rpcc.Call("query", f, &out, CallTimeout)
 	return out, err
+}
+
+// PutMeta publishes a control-plane key/value document.
+func (c *Client) PutMeta(key, value string) error {
+	return c.rpcc.Call("putmeta", Meta{Key: key, Value: value}, nil, CallTimeout)
+}
+
+// GetMeta fetches a control-plane document; errors when absent.
+func (c *Client) GetMeta(key string) (Meta, error) {
+	var m Meta
+	err := c.rpcc.Call("getmeta", struct {
+		Key string `json:"key"`
+	}{Key: key}, &m, CallTimeout)
+	return m, err
 }
 
 // Close releases the connection.

@@ -76,6 +76,49 @@ func TestScenarioSeries(t *testing.T) {
 	}
 }
 
+// TestFedScenarioSeries checks the federation scenario earns its series:
+// the load row must have absorbed a leader crash (election, hand-offs,
+// failovers) and the federation's own histograms must be populated.
+func TestFedScenarioSeries(t *testing.T) {
+	series, g, row := RunFedScenario(1)
+	if row.Completed == 0 {
+		t.Fatalf("fed scenario completed no requests: %+v", row)
+	}
+	if row.Crashes != 1 || row.Elections == 0 || row.Handoffs == 0 {
+		t.Fatalf("fed scenario did not exercise the failure path: %+v", row)
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		if s.Kind != "scenario" {
+			t.Fatalf("series %s has kind %q, want scenario", s.Name, s.Kind)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"scenario.fed.load",
+		"scenario.fed.hist.fed.election.latency",
+		"scenario.fed.hist.fed.handoff.time",
+	} {
+		if !names[want] {
+			t.Fatalf("fed scenario series %q missing; have %v", want, names)
+		}
+	}
+	// The returned grid's exposition carries the federation families for
+	// the Prometheus endpoint (perfgrid -prom, benchgrid -metrics-out).
+	var prom bytes.Buffer
+	if err := g.WriteMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cogrid_fed_live_replicas", "cogrid_fed_election_latency",
+		"cogrid_fed_handoff_time", "cogrid_broker_queue_depth",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("fed exposition missing %q", want)
+		}
+	}
+}
+
 func TestSuiteShape(t *testing.T) {
 	suite := Suite()
 	if len(suite) < 8 {

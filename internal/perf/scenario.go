@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"strings"
 	"time"
 
 	"cogrid/internal/experiments"
@@ -74,14 +75,22 @@ func RunScenario(seed int64) ([]Series, *grid.Grid, experiments.BrokerLoadRow) {
 		},
 	}
 	// One series per populated layer histogram, in sorted-name order.
+	series = append(series, histSeries(g, "scenario.hist.")...)
+	return series, g, row
+}
+
+// histSeries distills every populated histogram in the grid's registry
+// into one quantile series apiece, under the given name prefix.
+func histSeries(g *grid.Grid, prefix string) []Series {
+	var out []Series
 	for _, name := range g.Hists.Names() {
 		h := g.Hists.H(name)
 		n := h.Count()
 		if n == 0 {
 			continue
 		}
-		series = append(series, Series{
-			Name: "scenario.hist." + name,
+		out = append(out, Series{
+			Name: prefix + name,
 			Kind: "scenario",
 			N:    int(n),
 			Values: map[string]float64{
@@ -92,6 +101,60 @@ func RunScenario(seed int64) ([]Series, *grid.Grid, experiments.BrokerLoadRow) {
 				"mean_ns": h.Mean(),
 			},
 		})
+	}
+	return out
+}
+
+// fedScenarioConfig is the fixed federated setting the "scenario.fed"
+// series measure: the stock B6 grid, run as a two-replica group absorbing
+// a leader crash — still a fraction of a second of real time, and deep
+// enough that election, shard hand-off, journal adoption, and client
+// failover all leave samples in the federation histograms.
+func fedScenarioConfig(seed int64) experiments.FederationLoadConfig {
+	return experiments.FederationLoadConfig{Seed: seed}
+}
+
+// fedScenarioReplicas pins the replica count the federation scenario runs.
+const fedScenarioReplicas = 2
+
+// RunFedScenario executes the deterministic federated-broker scenario and
+// distills it into "scenario.fed" series: the client-observed row plus
+// quantiles of the federation's own histograms (election latency, journal
+// hand-off age, forward hop counts). Like RunScenario, every value is a
+// virtual-time quantity: for a fixed seed the series and the returned
+// grid's Prometheus exposition are byte-stable run to run.
+func RunFedScenario(seed int64) ([]Series, *grid.Grid, experiments.FederationLoadRow) {
+	if seed == 0 {
+		seed = 1
+	}
+	row, g := experiments.FederationLoadRun(fedScenarioConfig(seed), fedScenarioReplicas)
+
+	series := []Series{{
+		Name: "scenario.fed.load",
+		Kind: "scenario",
+		N:    row.Requests,
+		Values: map[string]float64{
+			"replicas":           float64(row.Replicas),
+			"completed":          float64(row.Completed),
+			"failed":             float64(row.Failed),
+			"rejects":            float64(row.Rejects),
+			"failovers":          float64(row.Failovers),
+			"forwards":           float64(row.Forwards),
+			"elections":          float64(row.Elections),
+			"handoffs":           float64(row.Handoffs),
+			"crashes":            float64(row.Crashes),
+			"throughput_per_min": row.ThroughputPerMin,
+			"p50_ms":             float64(row.P50) / float64(time.Millisecond),
+			"p99_ms":             float64(row.P99) / float64(time.Millisecond),
+		},
+	}}
+	// Only the federation's own histograms: the broker/RPC/kernel layers
+	// are already covered by RunScenario's grid, and duplicating their
+	// names here would collide in the snapshot.
+	for _, s := range histSeries(g, "scenario.fed.hist.") {
+		if strings.HasPrefix(s.Name, "scenario.fed.hist.fed.") {
+			series = append(series, s)
+		}
 	}
 	return series, g, row
 }

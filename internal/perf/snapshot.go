@@ -155,6 +155,8 @@ func Run(cfg RunConfig) (Snapshot, error) {
 	if !cfg.SkipScenario {
 		scen, _, _ := RunScenario(cfg.Seed)
 		snap.Series = append(snap.Series, scen...)
+		fed, _, _ := RunFedScenario(cfg.Seed)
+		snap.Series = append(snap.Series, fed...)
 	}
 	return snap, nil
 }

@@ -42,6 +42,10 @@ go run ./cmd/tracegrid -smoke -check >/dev/null
 echo "== dst smoke (protocol invariants over 200 random scenarios)"
 go run ./cmd/dstgrid -seeds 200 -smoke >/dev/null
 
+echo "== fed smoke (federated invariants + replica scaling check)"
+go run ./cmd/dstgrid -fed-seeds 40 -smoke >/dev/null
+go run ./cmd/benchgrid -fig none -app federation -smoke >/dev/null
+
 if [ "${QUICK:-0}" != "1" ]; then
     # Perf observatory: validate the snapshot shape (>= 8 series, 0
     # allocs/op on the histogram hot path) and compare a short measuring
