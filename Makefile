@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke cover bench-snapshot bench-check
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke wire-smoke cover bench-snapshot bench-check
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -53,6 +53,14 @@ dst-smoke:
 fed-smoke:
 	$(GO) run ./cmd/dstgrid -fed-seeds 40 -smoke
 	$(GO) run ./cmd/benchgrid -fig none -app federation -smoke
+
+# Wire smoke: replays the binary codec's fuzz seed corpus, then runs the
+# B3 codec/batching study on a seconds-long configuration — exits
+# non-zero unless the binary codec beats JSON on both messages/sec and
+# allocs/op with zero drops.
+wire-smoke:
+	$(GO) test -run FuzzWireEnvelope ./internal/wire
+	$(GO) run ./cmd/benchgrid -fig none -app wire -smoke
 
 # Re-measure the performance baseline: full 1s-per-bench suite plus the
 # deterministic scenario, written to BENCH_grid.json. Commit the result

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchgrid [-fig 2|3|4|5|all]
-//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|ablation|all]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|wire|ablation|all]
 //	          [-seed N] [-trials N] [-json] [-smoke] [-analyze trace.jsonl]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
@@ -19,7 +19,9 @@
 //
 // The chaos study doubles as a leak check: benchgrid exits non-zero if
 // any row leaves a non-terminal job on a machine after quiescence or
-// records an orphan that was never reaped.
+// records an orphan that was never reaped. The wire study (B3) likewise
+// enforces its acceptance bar: the binary codec must beat JSON on both
+// messages/sec and allocs/op, with zero drops in the deterministic rows.
 package main
 
 import (
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
-	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, ablation, all, or none")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, wire, ablation, all, or none")
 	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
@@ -111,6 +113,8 @@ func main() {
 		chaosStudy(*seed, *smoke)
 	case "federation":
 		federationStudy(*seed, *smoke)
+	case "wire":
+		wireStudy(*seed, *smoke)
 	case "ablation":
 		ablation()
 	case "all":
@@ -123,6 +127,7 @@ func main() {
 		brokerStudy(*seed, *smoke)
 		chaosStudy(*seed, *smoke)
 		federationStudy(*seed, *smoke)
+		wireStudy(*seed, *smoke)
 		ablation()
 	case "none":
 	default:
@@ -214,6 +219,13 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) 
 			return err
 		}
 		out["b6_federation"] = res
+	}
+	if appOn("wire") {
+		res := experiments.WireStudy(wireConfig(seed, smoke))
+		if err := wireCheck(res); err != nil {
+			return err
+		}
+		out["b3_wire"] = res
 	}
 	if appOn("ablation") {
 		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
@@ -462,6 +474,65 @@ func federationStudy(seed int64, smoke bool) {
 	fmt.Println(" two or more replicas crash and restart the leader mid-run, so the")
 	fmt.Println(" gains are earned under election, hand-off, and client failover)")
 	if err := federationScalingCheck(res); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgrid:", err)
+		os.Exit(1)
+	}
+}
+
+// wireConfig selects the wire study size: the stock configuration, or a
+// seconds-long smoke setting for CI (make wire-smoke).
+func wireConfig(seed int64, smoke bool) experiments.WireConfig {
+	cfg := experiments.WireConfig{Seed: seed}
+	if smoke {
+		cfg.Messages = 2000
+		cfg.BenchTime = "30ms"
+	}
+	return cfg
+}
+
+// wireCheck enforces the B3 acceptance bar: the binary codec's unbatched
+// row must beat JSON's on both messages/sec and allocs/op, and no study
+// row may drop a message — the flow-controlled stream fits the queue, so
+// any drop means the wire lost something it accounted as sent.
+func wireCheck(res experiments.WireResult) error {
+	var jsonRow, binRow *experiments.WireRow
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.Dropped != 0 {
+			return fmt.Errorf("wire: codec %s (batched=%t) dropped %d messages",
+				row.Codec, row.Batched, row.Dropped)
+		}
+		if !row.Batched {
+			switch row.Codec {
+			case "json":
+				jsonRow = row
+			case "binary":
+				binRow = row
+			}
+		}
+	}
+	if jsonRow == nil || binRow == nil {
+		return fmt.Errorf("wire: study missing the unbatched json/binary rows")
+	}
+	if binRow.MsgsPerSec <= jsonRow.MsgsPerSec {
+		return fmt.Errorf("wire: binary %.0f msgs/sec does not beat JSON %.0f",
+			binRow.MsgsPerSec, jsonRow.MsgsPerSec)
+	}
+	if binRow.AllocsPerOp >= jsonRow.AllocsPerOp {
+		return fmt.Errorf("wire: binary %.1f allocs/op not below JSON %.1f",
+			binRow.AllocsPerOp, jsonRow.AllocsPerOp)
+	}
+	return nil
+}
+
+func wireStudy(seed int64, smoke bool) {
+	section("B3 — wire throughput: JSON vs binary codec, with and without batching")
+	res := experiments.WireStudy(wireConfig(seed, smoke))
+	fmt.Print(res.Table())
+	fmt.Println("(internal/wire through internal/rpc: the binary envelope codec must")
+	fmt.Println(" beat JSON on both messages/sec and allocs/op; batching coalesces")
+	fmt.Println(" same-destination sends at the cost of up to its flush delay)")
+	if err := wireCheck(res); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgrid:", err)
 		os.Exit(1)
 	}

@@ -176,7 +176,8 @@ func validateSmoke(snap perf.Snapshot, scenarioOnly bool) error {
 			return fmt.Errorf("smoke: histogram_record allocates %.2f/op, want 0", h.AllocsPerOp)
 		}
 		for _, name := range []string{"trace_export_jsonl", "rpc_call", "transport_roundtrip",
-			"vtime_timer", "lrm_submit", "core_2pc", "broker_submit"} {
+			"vtime_timer", "lrm_submit", "core_2pc", "broker_submit",
+			"wire_encode", "wire_decode"} {
 			if snap.Find(name) == nil {
 				return fmt.Errorf("smoke: bench series %s missing", name)
 			}
@@ -185,7 +186,8 @@ func validateSmoke(snap perf.Snapshot, scenarioOnly bool) error {
 	for _, name := range []string{"scenario.broker.load", "scenario.vtime.kernel",
 		"scenario.hist.rpc.call.latency", "scenario.hist.broker.request.latency",
 		"scenario.fed.load", "scenario.fed.hist.fed.election.latency",
-		"scenario.fed.hist.fed.handoff.time"} {
+		"scenario.fed.hist.fed.handoff.time",
+		"scenario.wire.json", "scenario.wire.binary", "scenario.wire.binary_batched"} {
 		if snap.Find(name) == nil {
 			return fmt.Errorf("smoke: scenario series %s missing", name)
 		}
@@ -195,6 +197,15 @@ func validateSmoke(snap perf.Snapshot, scenarioOnly bool) error {
 	}
 	if s := snap.Find("scenario.fed.load"); s.Values["completed"] == 0 || s.Values["elections"] == 0 {
 		return fmt.Errorf("smoke: federation scenario did not exercise the failure path")
+	}
+	j, b := snap.Find("scenario.wire.json"), snap.Find("scenario.wire.binary")
+	if j.Values["dropped"] != 0 || b.Values["dropped"] != 0 {
+		return fmt.Errorf("smoke: wire scenario dropped messages (json %.0f, binary %.0f)",
+			j.Values["dropped"], b.Values["dropped"])
+	}
+	if b.Values["wire_bytes"] >= j.Values["wire_bytes"] {
+		return fmt.Errorf("smoke: binary wire bytes %.0f not below JSON %.0f",
+			b.Values["wire_bytes"], j.Values["wire_bytes"])
 	}
 	return nil
 }

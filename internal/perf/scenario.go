@@ -6,6 +6,8 @@ import (
 
 	"cogrid/internal/experiments"
 	"cogrid/internal/grid"
+	"cogrid/internal/rpc"
+	"cogrid/internal/transport"
 )
 
 // scenarioConfig is the fixed broker-load setting the scenario series
@@ -103,6 +105,62 @@ func histSeries(g *grid.Grid, prefix string) []Series {
 		})
 	}
 	return out
+}
+
+// wireScenarioMessages and wireScenarioBody pin the fixed stream the wire
+// scenario runs per codec setting: enough messages that batch sizes and
+// byte counts are stable, small enough to finish in milliseconds.
+const (
+	wireScenarioMessages = 2000
+	wireScenarioBody     = 64
+)
+
+// wireScenarioBatch is the coalescing policy of the batched wire row.
+func wireScenarioBatch() transport.BatchOptions {
+	return transport.BatchOptions{MaxMsgs: 32, MaxBytes: 64 << 10, Delay: 500 * time.Microsecond}
+}
+
+// RunWireScenario executes the deterministic half of the B3 wire study —
+// a fixed notification stream per codec setting — and distills each row
+// into a "scenario.wire" series: wire bytes, per-message framing cost,
+// deliveries, drops, and batch coalescing. Wall-clock throughput lives in
+// the wire_encode/wire_decode benches and benchgrid -app wire; these
+// series pin the codec's on-the-wire behavior byte-stably run to run.
+func RunWireScenario(seed int64) []Series {
+	if seed == 0 {
+		seed = 1
+	}
+	_ = seed // the stream is fixed; the seed keeps the signature uniform
+	rows := []struct {
+		name  string
+		codec rpc.Codec
+		batch transport.BatchOptions
+	}{
+		{"scenario.wire.json", rpc.JSON, transport.BatchOptions{}},
+		{"scenario.wire.binary", rpc.Binary, transport.BatchOptions{}},
+		{"scenario.wire.binary_batched", rpc.Binary, wireScenarioBatch()},
+	}
+	var series []Series
+	for _, r := range rows {
+		row := experiments.WireNetRun(r.codec, r.batch, wireScenarioMessages, wireScenarioBody)
+		vals := map[string]float64{
+			"delivered":        float64(row.Delivered),
+			"dropped":          float64(row.Dropped),
+			"wire_bytes":       float64(row.WireBytes),
+			"bytes_per_msg":    row.BytesPerMsg,
+			"final_virtual_ms": row.VirtualMs,
+		}
+		if row.BatchP50 > 0 {
+			vals["batch_p50_msgs"] = row.BatchP50
+		}
+		series = append(series, Series{
+			Name:   r.name,
+			Kind:   "scenario",
+			N:      row.Messages,
+			Values: vals,
+		})
+	}
+	return series
 }
 
 // fedScenarioConfig is the fixed federated setting the "scenario.fed"

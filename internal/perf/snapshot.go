@@ -157,6 +157,7 @@ func Run(cfg RunConfig) (Snapshot, error) {
 		snap.Series = append(snap.Series, scen...)
 		fed, _, _ := RunFedScenario(cfg.Seed)
 		snap.Series = append(snap.Series, fed...)
+		snap.Series = append(snap.Series, RunWireScenario(cfg.Seed)...)
 	}
 	return snap, nil
 }

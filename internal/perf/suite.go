@@ -25,6 +25,7 @@ import (
 	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
+	"cogrid/internal/wire"
 )
 
 // Bench is one declared micro-benchmark. F follows testing.B conventions;
@@ -66,6 +67,22 @@ func Suite() []Bench {
 			F:    benchTraceExportJSONL,
 		},
 		{
+			Name: "wire_encode",
+			Desc: "binary envelope encode into a pooled buffer (must be 0 allocs/op)",
+			F:    benchWireEncode,
+			Derive: func(r testing.BenchmarkResult) map[string]float64 {
+				return map[string]float64{"messages_per_sec": opsPerSec(r)}
+			},
+		},
+		{
+			Name: "wire_decode",
+			Desc: "binary envelope decode of a typical call frame",
+			F:    benchWireDecode,
+			Derive: func(r testing.BenchmarkResult) map[string]float64 {
+				return map[string]float64{"messages_per_sec": opsPerSec(r)}
+			},
+		},
+		{
 			Name: "vtime_timer",
 			Desc: "kernel timer schedule + fire + context switch",
 			F:    benchVtimeTimer,
@@ -88,7 +105,7 @@ func Suite() []Bench {
 		},
 		{
 			Name: "rpc_call",
-			Desc: "JSON RPC call round trip over the transport",
+			Desc: "RPC call round trip over the transport (binary codec)",
 			F:    benchRPCCall,
 			Derive: func(r testing.BenchmarkResult) map[string]float64 {
 				return map[string]float64{"messages_per_sec": 2 * opsPerSec(r)}
@@ -158,6 +175,44 @@ func benchTraceExportJSONL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ev := events[i%len(events) : i%len(events)+1]
 		if err := trace.WriteJSONL(io.Discard, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// wireBenchEnvelope is the typical call frame both wire benches measure:
+// a dictionary-hit method, causal context, and a small JSON body.
+func wireBenchEnvelope() wire.Envelope {
+	return wire.Envelope{
+		Kind: wire.KindCall, ID: 42, Method: "submit",
+		Req: "req-17", Span: "/submit/attempt-1/call:submit#42",
+		Body: []byte(`{"rsl":"+(&(executable=app)(count=16))"}`),
+	}
+}
+
+func benchWireEncode(b *testing.B) {
+	env := wireBenchEnvelope()
+	var enc wire.Encoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := wire.GetBuf()
+		*buf = enc.Encode((*buf)[:0], &env)
+		wire.PutBuf(buf)
+	}
+}
+
+func benchWireDecode(b *testing.B) {
+	env := wireBenchEnvelope()
+	var enc wire.Encoder
+	enc.Encode(nil, &env) // consume the prologue
+	frame := enc.Encode(nil, &env)
+	var dec wire.Decoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out wire.Envelope
+		if err := dec.Decode(frame, &out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,80 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"cogrid/internal/transport"
+)
+
+// TestCodecInterop runs the echo service across every client/server codec
+// pairing: the receive side auto-detects per frame, so a JSON peer and a
+// binary peer must interoperate transparently — calls, errors, and
+// notifications in both directions.
+func TestCodecInterop(t *testing.T) {
+	codecName := map[Codec]string{Binary: "binary", JSON: "json"}
+	for _, clientCodec := range []Codec{Binary, JSON} {
+		for _, serverCodec := range []Codec{Binary, JSON} {
+			name := fmt.Sprintf("client=%s/server=%s", codecName[clientCodec], codecName[serverCodec])
+			t.Run(name, func(t *testing.T) {
+				sim, a, b := newPair(t)
+				l, err := b.Listen("echo")
+				if err != nil {
+					t.Fatalf("Listen: %v", err)
+				}
+				h := HandlerFuncs{
+					Call: func(sc *ServerConn, method string, body json.RawMessage) (any, error) {
+						var args echoArgs
+						if err := Decode(body, &args); err != nil {
+							return nil, err
+						}
+						if method == "boom" {
+							return nil, fmt.Errorf("kaboom")
+						}
+						return echoReply{Text: args.Text}, nil
+					},
+					NotifyFunc: func(sc *ServerConn, method string, body json.RawMessage) {
+						sc.Notify("poked", echoReply{Text: "back"})
+					},
+				}
+				ServeCodec(sim, l, h, nil, serverCodec)
+				err = sim.Run("client", func() {
+					conn, err := a.Dial(transport.Addr{Host: "b", Service: "echo"})
+					if err != nil {
+						t.Errorf("Dial: %v", err)
+						return
+					}
+					c := NewClientCodec(sim, conn, clientCodec)
+					defer c.Close()
+					var reply echoReply
+					if err := c.Call("echo", echoArgs{Text: "hello"}, &reply, time.Minute); err != nil {
+						t.Errorf("Call: %v", err)
+						return
+					}
+					if reply.Text != "hello" {
+						t.Errorf("reply = %q, want hello", reply.Text)
+					}
+					if err := c.Call("boom", echoArgs{}, nil, time.Minute); err == nil || err.Error() != "kaboom" {
+						t.Errorf("boom = %v, want remote kaboom", err)
+					}
+					if err := c.Notify("poke", nil); err != nil {
+						t.Errorf("Notify: %v", err)
+					}
+					n, ok := c.Notifications().Recv()
+					if !ok || n.Method != "poked" {
+						t.Errorf("notification = %+v (ok=%t), want poked", n, ok)
+					}
+					var back echoReply
+					if err := n.Decode(&back); err != nil || back.Text != "back" {
+						t.Errorf("notification body = %+v, %v; want back", back, err)
+					}
+				})
+				if err != nil {
+					t.Fatalf("sim: %v", err)
+				}
+			})
+		}
+	}
+}

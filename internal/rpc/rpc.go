@@ -1,9 +1,12 @@
 // Package rpc provides a small request/reply and notification protocol
 // over simulated transport connections.
 //
-// A connection carries JSON envelopes. Calls expect a matching reply;
-// notifications are one-way and may flow in either direction, which is how
-// GRAM delivers asynchronous job-state callbacks to a connected client.
+// A connection carries envelopes in either the compact binary frame format
+// of internal/wire (the default) or the legacy JSON format; receivers
+// auto-detect per frame, so mixed-codec peers interoperate. Calls expect a
+// matching reply; notifications are one-way and may flow in either
+// direction, which is how GRAM delivers asynchronous job-state callbacks
+// to a connected client.
 package rpc
 
 import (
@@ -18,6 +21,7 @@ import (
 	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
+	"cogrid/internal/wire"
 )
 
 // Errors returned by RPC operations.
@@ -32,26 +36,21 @@ type RemoteError string
 
 func (e RemoteError) Error() string { return string(e) }
 
+// Codec selects the envelope encoding for one side's sends. The receive
+// side always auto-detects by first byte, so the two ends of a connection
+// may use different codecs.
+type Codec int
+
 const (
-	kindCall   = "call"
-	kindReply  = "reply"
-	kindNotify = "notify"
+	// Binary is the compact CRC-framed format of internal/wire (default).
+	Binary Codec = iota
+	// JSON is the legacy text envelope, kept for the codec comparison and
+	// for wire-level debuggability.
+	JSON
 )
 
-type envelope struct {
-	ID     uint64 `json:"id,omitempty"`
-	Kind   string `json:"kind"`
-	Method string `json:"method,omitempty"`
-	Error  string `json:"error,omitempty"`
-	// Req/Span carry the causal span context across the wire, so the
-	// server parents its handler span into the caller's request tree.
-	Req  string          `json:"req,omitempty"`
-	Span string          `json:"span,omitempty"`
-	Body json.RawMessage `json:"body,omitempty"`
-}
-
-// ctx returns the envelope's causal span context.
-func (e envelope) ctx() trace.Ctx { return trace.Ctx{Req: e.Req, Span: e.Span} }
+// envCtx returns an envelope's causal span context.
+func envCtx(env *wire.Envelope) trace.Ctx { return trace.Ctx{Req: env.Req, Span: env.Span} }
 
 // Notification is an incoming one-way message.
 type Notification struct {
@@ -74,13 +73,18 @@ func (n Notification) Decode(v any) error {
 // remote-initiated notifications. Create with NewClient; a demux daemon
 // owns the receive side of the connection.
 type Client struct {
-	sim  *vtime.Sim
-	conn *transport.Conn
+	sim   *vtime.Sim
+	conn  *transport.Conn
+	codec Codec
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]*vtime.Chan[envelope]
+	pending map[uint64]*vtime.Chan[wire.Envelope]
 	closed  bool
+	// enc is this direction's frame encoder; guarded by mu so the
+	// handshake prologue rides the first frame actually sent.
+	enc wire.Encoder
+	dec wire.Decoder
 
 	// hCall receives every call's virtual round-trip latency (all
 	// outcomes, so timeouts shape the tail). Nil without a registry.
@@ -89,17 +93,40 @@ type Client struct {
 	notifications *vtime.Chan[Notification]
 }
 
-// NewClient wraps conn. The caller must not use conn directly afterwards.
+// NewClient wraps conn with the default binary codec. The caller must not
+// use conn directly afterwards.
 func NewClient(sim *vtime.Sim, conn *transport.Conn) *Client {
+	return NewClientCodec(sim, conn, Binary)
+}
+
+// NewClientCodec is NewClient with an explicit send codec.
+func NewClientCodec(sim *vtime.Sim, conn *transport.Conn, codec Codec) *Client {
 	c := &Client{
 		sim:           sim,
 		conn:          conn,
-		pending:       make(map[uint64]*vtime.Chan[envelope]),
+		codec:         codec,
+		pending:       make(map[uint64]*vtime.Chan[wire.Envelope]),
 		hCall:         conn.Network().Hists().H("rpc.call.latency"),
 		notifications: vtime.NewChan[Notification](sim, "rpc-notify:"+conn.LocalAddr().String(), 256),
 	}
+	if codec == Binary {
+		sendPrologue(&c.enc, conn)
+	}
 	sim.GoDaemon("rpc-demux:"+conn.LocalAddr().String(), c.demux)
 	return c
+}
+
+// sendPrologue ships the binary handshake prologue as its own frame at
+// connection setup. Setup is a deterministic point; piggybacking the
+// prologue on the first data frame instead would let goroutine scheduling
+// within one virtual instant decide which message grows by its bytes,
+// making per-message wire sizes nondeterministic.
+func sendPrologue(enc *wire.Encoder, conn *transport.Conn) {
+	buf := wire.GetBuf()
+	frame := enc.EncodePrologue((*buf)[:0])
+	_ = conn.SendCtx(frame, trace.Ctx{})
+	*buf = frame
+	wire.PutBuf(buf)
 }
 
 // Notifications returns the stream of remote-initiated notifications. The
@@ -123,12 +150,15 @@ func (c *Client) demux() {
 			c.shutdown()
 			return
 		}
-		var env envelope
-		if json.Unmarshal(raw, &env) != nil {
-			continue // malformed frame: drop
+		var env wire.Envelope
+		if c.dec.Decode(raw, &env) != nil {
+			// Malformed frame (truncated, corrupted, bad CRC): drop, but
+			// count the drop so codec trouble is visible.
+			c.conn.Network().Counters().Add(trace.Key("rpc", "frame", "decode-error", c.conn.LocalAddr().Host), 1)
+			continue
 		}
 		switch env.Kind {
-		case kindReply:
+		case wire.KindReply:
 			c.mu.Lock()
 			ch := c.pending[env.ID]
 			delete(c.pending, env.ID)
@@ -141,13 +171,13 @@ func (c *Client) demux() {
 				// but it still appears in the trace, correlated with the
 				// timed-out call by ID.
 				host := c.conn.LocalAddr().Host
-				c.conn.Network().Tracer().InstantCtx(env.ctx(), "rpc", "dropped-reply", host, c.conn.Flow(), corrID(c.conn, env.ID))
+				c.conn.Network().Tracer().InstantCtx(envCtx(&env), "rpc", "dropped-reply", host, c.conn.Flow(), corrID(c.conn, env.ID))
 				c.conn.Network().Counters().Add(trace.Key("rpc", "reply", "drop", host), 1)
 			}
-		case kindNotify:
-			c.notifications.TrySend(Notification{Method: env.Method, Body: env.Body, Ctx: env.ctx()})
+		case wire.KindNotify:
+			c.notifications.TrySend(Notification{Method: env.Method, Body: env.Body, Ctx: envCtx(&env)})
 			host := c.conn.LocalAddr().Host
-			c.conn.Network().Tracer().InstantCtx(env.ctx(), "rpc", "notify:"+env.Method, host, c.conn.Flow(), "")
+			c.conn.Network().Tracer().InstantCtx(envCtx(&env), "rpc", "notify:"+env.Method, host, c.conn.Flow(), "")
 			c.conn.Network().Counters().Add(trace.Key("rpc", "notify", "recv", host), 1)
 		}
 	}
@@ -161,7 +191,7 @@ func (c *Client) shutdown() {
 	}
 	c.closed = true
 	pending := c.pending
-	c.pending = make(map[uint64]*vtime.Chan[envelope])
+	c.pending = make(map[uint64]*vtime.Chan[wire.Envelope])
 	c.mu.Unlock()
 	for _, ch := range pending {
 		ch.Close()
@@ -195,7 +225,7 @@ func (c *Client) CallCtx(ctx trace.Ctx, method string, arg, reply any, timeout t
 	}
 	c.nextID++
 	id := c.nextID
-	ch := vtime.NewChan[envelope](c.sim, fmt.Sprintf("rpc-reply:%d", id), 1)
+	ch := vtime.NewChan[wire.Envelope](c.sim, fmt.Sprintf("rpc-reply:%d", id), 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -214,7 +244,7 @@ func (c *Client) CallCtx(ctx trace.Ctx, method string, arg, reply any, timeout t
 		c.conn.Network().Counters().Add(trace.Key("rpc", "call", outcome, host), 1)
 	}
 
-	if err := c.send(envelope{ID: id, Kind: kindCall, Method: method, Req: callCtx.Req, Span: callCtx.Span}, arg); err != nil {
+	if err := c.send(wire.Envelope{ID: id, Kind: wire.KindCall, Method: method, Req: callCtx.Req, Span: callCtx.Span}, arg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -254,10 +284,10 @@ func (c *Client) NotifyCtx(ctx trace.Ctx, method string, arg any) error {
 	if !ctx.Valid() {
 		ctx = c.conn.Ctx()
 	}
-	return c.send(envelope{Kind: kindNotify, Method: method, Req: ctx.Req, Span: ctx.Span}, arg)
+	return c.send(wire.Envelope{Kind: wire.KindNotify, Method: method, Req: ctx.Req, Span: ctx.Span}, arg)
 }
 
-func (c *Client) send(env envelope, arg any) error {
+func (c *Client) send(env wire.Envelope, arg any) error {
 	if arg != nil {
 		body, err := json.Marshal(arg)
 		if err != nil {
@@ -265,11 +295,28 @@ func (c *Client) send(env envelope, arg any) error {
 		}
 		env.Body = body
 	}
-	raw, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("rpc: marshal envelope: %w", err)
+	ctx := envCtx(&env)
+	if c.codec == JSON {
+		raw, err := wire.EncodeJSON(&env)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal envelope: %w", err)
+		}
+		if err := c.conn.SendCtx(raw, ctx); err != nil {
+			return ErrClosed
+		}
+		return nil
 	}
-	if err := c.conn.SendCtx(raw, env.ctx()); err != nil {
+	// Binary: encode into a pooled buffer under mu (callers share the
+	// encoder); SendCtx copies the frame, so the buffer recycles
+	// immediately. The prologue went out at setup (sendPrologue).
+	buf := wire.GetBuf()
+	c.mu.Lock()
+	frame := c.enc.Encode((*buf)[:0], &env)
+	err := c.conn.SendCtx(frame, ctx)
+	c.mu.Unlock()
+	*buf = frame
+	wire.PutBuf(buf)
+	if err != nil {
 		return ErrClosed
 	}
 	return nil
@@ -279,9 +326,13 @@ func (c *Client) send(env envelope, arg any) error {
 // use it to push notifications back to the client (e.g. GRAM state
 // callbacks) and to close the connection.
 type ServerConn struct {
-	sim  *vtime.Sim
-	conn *transport.Conn
-	mu   sync.Mutex
+	sim   *vtime.Sim
+	conn  *transport.Conn
+	codec Codec
+	// mu guards enc: replies (serve loop) and notifications (handler
+	// daemons) share this direction's encoder.
+	mu  sync.Mutex
+	enc wire.Encoder
 	// Meta carries the preamble's result, e.g. the authenticated identity
 	// established by a GSI handshake.
 	Meta any
@@ -310,7 +361,7 @@ func (sc *ServerConn) NotifyCtx(ctx trace.Ctx, method string, arg any) error {
 	if !ctx.Valid() {
 		ctx = sc.conn.Ctx()
 	}
-	env := envelope{Kind: kindNotify, Method: method, Req: ctx.Req, Span: ctx.Span}
+	env := wire.Envelope{Kind: wire.KindNotify, Method: method, Req: ctx.Req, Span: ctx.Span}
 	if arg != nil {
 		body, err := json.Marshal(arg)
 		if err != nil {
@@ -318,16 +369,37 @@ func (sc *ServerConn) NotifyCtx(ctx trace.Ctx, method string, arg any) error {
 		}
 		env.Body = body
 	}
-	raw, err := json.Marshal(env)
-	if err != nil {
+	if err := sc.sendEnv(&env, ctx); err != nil {
 		return err
-	}
-	if err := sc.conn.SendCtx(raw, ctx); err != nil {
-		return ErrClosed
 	}
 	host := sc.conn.LocalAddr().Host
 	sc.conn.Network().Tracer().InstantCtx(ctx, "rpc", "notify:"+method, host, sc.conn.Flow(), "")
 	sc.conn.Network().Counters().Add(trace.Key("rpc", "notify", "send", host), 1)
+	return nil
+}
+
+// sendEnv encodes env in the connection's codec and sends it under ctx.
+func (sc *ServerConn) sendEnv(env *wire.Envelope, ctx trace.Ctx) error {
+	if sc.codec == JSON {
+		raw, err := wire.EncodeJSON(env)
+		if err != nil {
+			return err
+		}
+		if sc.conn.SendCtx(raw, ctx) != nil {
+			return ErrClosed
+		}
+		return nil
+	}
+	buf := wire.GetBuf()
+	sc.mu.Lock()
+	frame := sc.enc.Encode((*buf)[:0], env)
+	err := sc.conn.SendCtx(frame, ctx)
+	sc.mu.Unlock()
+	*buf = frame
+	wire.PutBuf(buf)
+	if err != nil {
+		return ErrClosed
+	}
 	return nil
 }
 
@@ -354,13 +426,20 @@ type Server struct {
 	listener *transport.Listener
 	handler  Handler
 	preamble Preamble
+	codec    Codec
 }
 
 // Serve starts accepting on l, running preamble (optional) then the
-// envelope loop for each connection. It returns immediately; daemons do
-// the work.
+// envelope loop for each connection, replying in the default binary codec.
+// It returns immediately; daemons do the work.
 func Serve(sim *vtime.Sim, l *transport.Listener, handler Handler, preamble Preamble) *Server {
-	srv := &Server{sim: sim, listener: l, handler: handler, preamble: preamble}
+	return ServeCodec(sim, l, handler, preamble, Binary)
+}
+
+// ServeCodec is Serve with an explicit send codec for replies and
+// notifications. Inbound frames are auto-detected regardless.
+func ServeCodec(sim *vtime.Sim, l *transport.Listener, handler Handler, preamble Preamble, codec Codec) *Server {
+	srv := &Server{sim: sim, listener: l, handler: handler, preamble: preamble, codec: codec}
 	sim.GoDaemon("rpc-accept:"+l.Addr().String(), srv.acceptLoop)
 	return srv
 }
@@ -393,26 +472,31 @@ func (s *Server) serveConn(conn *transport.Conn) {
 		}
 		meta = m
 	}
-	sc := &ServerConn{sim: s.sim, conn: conn, Meta: meta, Ctx: conn.Ctx()}
+	sc := &ServerConn{sim: s.sim, conn: conn, codec: s.codec, Meta: meta, Ctx: conn.Ctx()}
+	if s.codec == Binary {
+		sendPrologue(&sc.enc, conn)
+	}
 	tr := conn.Network().Tracer()
 	host := conn.LocalAddr().Host
 	hServe := conn.Network().Hists().H("rpc.serve.latency")
+	var dec wire.Decoder
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		var env envelope
-		if json.Unmarshal(raw, &env) != nil {
+		var env wire.Envelope
+		if dec.Decode(raw, &env) != nil {
+			conn.Network().Counters().Add(trace.Key("rpc", "frame", "decode-error", host), 1)
 			continue
 		}
 		switch env.Kind {
-		case kindCall:
+		case wire.KindCall:
 			// The serve span covers handler execution and shares the call's
 			// correlation ID, so client and server sides of one RPC line up
 			// in the trace. The envelope's span context parents the serve
 			// span under the caller's call span.
-			serveCtx := env.ctx()
+			serveCtx := envCtx(&env)
 			if !serveCtx.Valid() {
 				serveCtx = conn.Ctx()
 			}
@@ -423,7 +507,7 @@ func (s *Server) serveConn(conn *transport.Conn) {
 			result, err := s.handler.HandleCall(sc, env.Method, env.Body)
 			hServe.Record(int64(s.sim.Now() - serveStartV))
 			sc.Ctx = conn.Ctx()
-			reply := envelope{ID: env.ID, Kind: kindReply, Req: serveCtx.Req, Span: serveCtx.Span}
+			reply := wire.Envelope{ID: env.ID, Kind: wire.KindReply, Req: serveCtx.Req, Span: serveCtx.Span}
 			outcome := "ok"
 			if err != nil {
 				reply.Error = err.Error()
@@ -440,14 +524,10 @@ func (s *Server) serveConn(conn *transport.Conn) {
 			tr.SpanCtx(serveCtx, "rpc", "serve:"+env.Method, host, conn.Flow(), corrID(conn, env.ID), serveStart,
 				trace.Arg{Key: "outcome", Val: outcome})
 			conn.Network().Counters().Add(trace.Key("rpc", "serve", outcome, host), 1)
-			raw, merr := json.Marshal(reply)
-			if merr != nil {
-				continue
-			}
-			if conn.SendCtx(raw, serveCtx) != nil {
+			if sc.sendEnv(&reply, serveCtx) == ErrClosed {
 				return
 			}
-		case kindNotify:
+		case wire.KindNotify:
 			s.handler.HandleNotify(sc, env.Method, env.Body)
 		}
 	}

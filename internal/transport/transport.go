@@ -110,6 +110,44 @@ func pairKey(a, b string) [2]string {
 	return [2]string{a, b}
 }
 
+// BatchOptions configures same-destination send coalescing. When enabled
+// (Delay > 0), a connection's sends are gathered into a pending batch that
+// is flushed onto the wire as one delivery either when it reaches MaxMsgs
+// messages or MaxBytes payload bytes, or Delay of virtual time after its
+// first message — whichever comes first. Batching preserves per-connection
+// FIFO order and per-message drop/recv accounting; it reduces the number
+// of delivery-pipeline operations (and so the simulator's per-message
+// cost) at the price of up to Delay of added latency on lightly loaded
+// connections.
+type BatchOptions struct {
+	// MaxMsgs flushes a batch when it holds this many messages
+	// (default 32).
+	MaxMsgs int
+	// MaxBytes flushes a batch when it holds this many payload bytes
+	// (default 64 KiB).
+	MaxBytes int
+	// Delay is the virtual-time flush tick: a batch never waits longer
+	// than this after its first message. Zero disables batching.
+	Delay time.Duration
+}
+
+func (o BatchOptions) enabled() bool { return o.Delay > 0 }
+
+// SetBatching installs batch as the coalescing policy for connections
+// created from now on; existing connections keep the policy they were
+// created with. A zero Delay disables batching (the default).
+func (n *Network) SetBatching(batch BatchOptions) {
+	if batch.MaxMsgs <= 0 {
+		batch.MaxMsgs = 32
+	}
+	if batch.MaxBytes <= 0 {
+		batch.MaxBytes = 64 << 10
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.batch = batch
+}
+
 // hostState models the failure condition of a host.
 type hostState int
 
@@ -127,6 +165,7 @@ type Network struct {
 	mu         sync.Mutex
 	hosts      map[string]*Host
 	partitions map[[2]string]bool
+	batch      BatchOptions
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
@@ -395,6 +434,16 @@ func (h *Host) DialCtx(to Addr, ctx trace.Ctx) (*Conn, error) {
 	n.sim.Sleep(oneWay) // SYN
 
 	n.mu.Lock()
+	// Re-check the local host under the same lock that registers the conn
+	// pair: the host may have crashed or hung during the SYN sleep, and its
+	// sweep already ran. Registering now would attach live connections to a
+	// swept host — they would never be closed by a later failure.
+	if h.state != hostUp {
+		n.mu.Unlock()
+		n.Tracer().SpanCtx(ctx.Child("dial"), "transport", "dial", h.name, to.String(), "", dialStart,
+			trace.Arg{Key: "outcome", Val: "local-down"})
+		return nil, ErrHostDown
+	}
 	remote, ok := n.hosts[to.Host]
 	var l *Listener
 	if ok && remote.state == hostUp {
@@ -466,15 +515,24 @@ func (l *Listener) close(deregister bool) {
 	l.accept.Close()
 }
 
-// outMsg is an entry in a connection's delivery pipeline.
-type outMsg struct {
-	payload   []byte
-	sentAt    time.Duration
-	deliverAt time.Duration
-	fin       bool
+// pendingMsg is one coalesced send awaiting batch flush.
+type pendingMsg struct {
+	payload []byte
+	sentAt  time.Duration
 	// ctx is the causal context of the send, stamped on the matching recv
 	// or drop event at the far end of the wire.
 	ctx trace.Ctx
+}
+
+// outMsg is an entry in a connection's delivery pipeline: a single
+// payload, a coalesced batch, or a FIN.
+type outMsg struct {
+	payload   []byte
+	batch     []pendingMsg
+	sentAt    time.Duration
+	deliverAt time.Duration
+	fin       bool
+	ctx       trace.Ctx
 }
 
 // Conn is one end of a reliable, in-order, message-oriented connection.
@@ -498,10 +556,17 @@ type Conn struct {
 	cSend, cSendBytes, cRecv, cRecvBytes, cDrop *trace.Counter
 	// Cached histogram handles (shared network-wide, not per-connection, to
 	// bound cardinality), nil when no registry is attached.
-	hBytes, hDelay *metrics.Histogram
+	hBytes, hDelay, hBatch *metrics.Histogram
 
-	mu     sync.Mutex
-	closed bool
+	// batch is the coalescing policy this connection was created under;
+	// flushSig wakes the flusher daemon when a batch opens.
+	batch    BatchOptions
+	flushSig *vtime.Chan[struct{}]
+
+	mu        sync.Mutex
+	closed    bool
+	pend      []pendingMsg
+	pendBytes int
 }
 
 // Flow returns the connection-pair identifier shared by both ends: the
@@ -547,6 +612,10 @@ func newConnPair(n *Network, clientAddr, serverAddr Addr, ctx trace.Ctx) (client
 			dirFlow: tag + "@" + ts,
 			in:      vtime.NewChan[[]byte](n.sim, "in:"+tag, 4096),
 			out:     vtime.NewChan[outMsg](n.sim, "out:"+tag, 4096),
+			batch:   n.batch,
+		}
+		if c.batch.enabled() {
+			c.flushSig = vtime.NewChan[struct{}](n.sim, "flush:"+tag, 1)
 		}
 		if ctrs != nil {
 			c.cSend = ctrs.C(trace.Key("transport", "conn", "send", c.dirFlow))
@@ -558,6 +627,9 @@ func newConnPair(n *Network, clientAddr, serverAddr Addr, ctx trace.Ctx) (client
 		if hs := n.Hists(); hs != nil {
 			c.hBytes = hs.H("transport.msg.bytes")
 			c.hDelay = hs.H("transport.msg.delay")
+			if c.batch.enabled() {
+				c.hBatch = hs.H("transport.batch.msgs")
+			}
 		}
 		return c
 	}
@@ -567,6 +639,10 @@ func newConnPair(n *Network, clientAddr, serverAddr Addr, ctx trace.Ctx) (client
 	server.peer = client
 	n.sim.GoDaemon("deliver:"+clientAddr.String(), client.deliverLoop)
 	n.sim.GoDaemon("deliver:"+serverAddr.String(), server.deliverLoop)
+	if client.batch.enabled() {
+		n.sim.GoDaemon("flush:"+clientAddr.String(), client.flushLoop)
+		n.sim.GoDaemon("flush:"+serverAddr.String(), server.flushLoop)
+	}
 	return client, server
 }
 
@@ -583,26 +659,42 @@ func (c *Conn) deliverLoop() {
 			c.peer.markClosed()
 			return
 		}
-		if !c.net.deliverable(c.local.Host, c.remote.Host) {
-			c.dropped(len(m.payload), "in-flight", m.ctx)
-			continue // dropped in flight
-		}
-		if !c.peer.in.TrySend(m.payload) { // inbox overflow drops, like UDP under DoS
-			c.dropped(len(m.payload), "overflow", m.ctx)
+		// Reachability is evaluated once per delivery (per batch): a batch
+		// crosses the wire as one unit.
+		deliverable := c.net.deliverable(c.local.Host, c.remote.Host)
+		if m.batch != nil {
+			for _, p := range m.batch {
+				c.deliver(p.payload, p.sentAt, p.ctx, deliverable)
+			}
 			continue
 		}
-		// Enqueue-to-delivery virtual delay: wire latency plus any FIFO
-		// backlog behind earlier messages on this connection.
-		c.hDelay.Record(int64(c.net.sim.Now() - m.sentAt))
-		c.peer.cRecv.Add(1)
-		c.peer.cRecvBytes.Add(int64(len(m.payload)))
-		if ctrs := c.net.Counters(); ctrs != nil {
-			ctrs.Add(trace.Key("transport", "msgs", "recv", c.remote.Host), 1)
-			ctrs.Add(trace.Key("transport", "bytes", "recv", c.remote.Host), int64(len(m.payload)))
-		}
-		c.net.Tracer().InstantCtx(m.ctx, "transport", "recv", c.remote.Host, c.peer.dirFlow, c.flow,
-			trace.Arg{Key: "bytes", Val: strconv.Itoa(len(m.payload))})
+		c.deliver(m.payload, m.sentAt, m.ctx, deliverable)
 	}
+}
+
+// deliver lands one payload in the peer's inbox (or accounts for its
+// loss), recording per-message delay, counters, and the recv trace event.
+func (c *Conn) deliver(payload []byte, sentAt time.Duration, ctx trace.Ctx, deliverable bool) {
+	if !deliverable {
+		c.dropped(len(payload), "in-flight", ctx)
+		return
+	}
+	if !c.peer.in.TrySend(payload) { // inbox overflow drops, like UDP under DoS
+		c.dropped(len(payload), "overflow", ctx)
+		return
+	}
+	// Enqueue-to-delivery virtual delay: wire latency plus any FIFO
+	// backlog (and batch coalescing time) behind earlier messages on this
+	// connection.
+	c.hDelay.Record(int64(c.net.sim.Now() - sentAt))
+	c.peer.cRecv.Add(1)
+	c.peer.cRecvBytes.Add(int64(len(payload)))
+	if ctrs := c.net.Counters(); ctrs != nil {
+		ctrs.Add(trace.Key("transport", "msgs", "recv", c.remote.Host), 1)
+		ctrs.Add(trace.Key("transport", "bytes", "recv", c.remote.Host), int64(len(payload)))
+	}
+	c.net.Tracer().InstantCtx(ctx, "transport", "recv", c.remote.Host, c.peer.dirFlow, c.flow,
+		trace.Arg{Key: "bytes", Val: strconv.Itoa(len(payload))})
 }
 
 // dropped accounts for a message lost on this end's send path.
@@ -664,22 +756,110 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.Ctx) error {
 	c.hBytes.Record(int64(len(payload)))
 	now := n.sim.Now()
 	oneWay := n.latency.Latency(c.local.Host, c.remote.Host)
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	if c.batch.enabled() {
+		c.appendBatch(buf, ctx, now)
+		return nil
+	}
 	// One hop span per send, covering the wire time to the peer.
 	c.net.Tracer().SpanAtCtx(ctx.Child("hop"), "transport", "hop", c.local.Host, c.dirFlow, c.flow, now, now+oneWay,
 		trace.Arg{Key: "bytes", Val: strconv.Itoa(len(payload))},
 		trace.Arg{Key: "to", Val: c.remote.String()})
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-	// TrySend: if the delivery queue is full (extreme overload) or the
-	// connection raced with a close, the message is dropped rather than
-	// blocking the sender while it holds no kernel context.
-	c.out.TrySend(outMsg{
-		payload:   buf,
-		sentAt:    now,
-		deliverAt: now + oneWay,
-		ctx:       ctx,
-	})
+	if !c.enqueue(outMsg{payload: buf, sentAt: now, deliverAt: now + oneWay, ctx: ctx}) {
+		// The delivery queue is saturated (extreme overload) or the send
+		// raced with a close. Either way the message is lost here, and the
+		// loss must be accounted: everything above already counted it as
+		// sent, so silence would leave send-minus-recv unexplained.
+		c.dropped(len(buf), "sendq-full", ctx)
+	}
 	return nil
+}
+
+// enqueue places m in the delivery pipeline. Data and batch entries leave
+// one slot of slack so the FIN enqueued by Close always has room — that
+// slack is what keeps close detectable under overload. Returns false when
+// the pipeline is saturated or the connection raced with a close.
+func (c *Conn) enqueue(m outMsg) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enqueueLocked(m)
+}
+
+func (c *Conn) enqueueLocked(m outMsg) bool {
+	if !m.fin && c.out.Len() >= c.out.Cap()-1 {
+		return false
+	}
+	return c.out.TrySend(m)
+}
+
+// appendBatch coalesces one send into the connection's pending batch,
+// flushing inline when the batch reaches a size threshold and arming the
+// flush timer when a batch opens.
+func (c *Conn) appendBatch(payload []byte, ctx trace.Ctx, now time.Duration) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.dropped(len(payload), "conn-closed", ctx)
+		return
+	}
+	first := len(c.pend) == 0
+	c.pend = append(c.pend, pendingMsg{payload: payload, sentAt: now, ctx: ctx})
+	c.pendBytes += len(payload)
+	full := len(c.pend) >= c.batch.MaxMsgs || c.pendBytes >= c.batch.MaxBytes
+	if full {
+		c.flushLocked()
+	}
+	c.mu.Unlock()
+	if first && !full {
+		// Capacity 1: if the timer is already armed the signal is
+		// redundant, and if the connection just closed TrySend is a no-op.
+		c.flushSig.TrySend(struct{}{})
+	}
+}
+
+// flushLocked moves the pending batch into the delivery pipeline as one
+// unit. Caller holds c.mu; the swap-and-enqueue is atomic under it, which
+// is what keeps batches in per-connection FIFO order.
+func (c *Conn) flushLocked() {
+	if len(c.pend) == 0 {
+		return
+	}
+	batch := c.pend
+	c.pend = nil
+	c.pendBytes = 0
+	n := c.net
+	now := n.sim.Now()
+	oneWay := n.latency.Latency(c.local.Host, c.remote.Host)
+	if !c.enqueueLocked(outMsg{batch: batch, sentAt: now, deliverAt: now + oneWay}) {
+		for _, p := range batch {
+			c.dropped(len(p.payload), "sendq-full", p.ctx)
+		}
+		return
+	}
+	c.hBatch.Record(int64(len(batch)))
+	// One hop span per coalesced message, from its send time to the
+	// batch's delivery time: the span length includes the coalescing wait,
+	// so traces show the latency cost of batching, not just the wire time.
+	for _, p := range batch {
+		c.net.Tracer().SpanAtCtx(p.ctx.Child("hop"), "transport", "hop", c.local.Host, c.dirFlow, c.flow, p.sentAt, now+oneWay,
+			trace.Arg{Key: "bytes", Val: strconv.Itoa(len(p.payload))},
+			trace.Arg{Key: "to", Val: c.remote.String()})
+	}
+}
+
+// flushLoop is the connection's batch-flush daemon: each time a batch
+// opens it sleeps the batch delay, then flushes whatever is pending.
+func (c *Conn) flushLoop() {
+	for {
+		if _, ok := c.flushSig.Recv(); !ok {
+			return
+		}
+		c.net.sim.Sleep(c.batch.Delay)
+		c.mu.Lock()
+		c.flushLocked()
+		c.mu.Unlock()
+	}
 }
 
 // Recv blocks until a message arrives. It returns ErrClosed once the
@@ -714,6 +894,7 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
+	c.flushLocked() // the last pending batch rides out ahead of the FIN
 	c.mu.Unlock()
 
 	n := c.net
@@ -724,10 +905,22 @@ func (c *Conn) Close() {
 	n.mu.Unlock()
 
 	c.in.Close()
-	c.out.TrySend(outMsg{
-		deliverAt: n.sim.Now() + n.latency.Latency(c.local.Host, c.remote.Host),
-		fin:       true,
-	})
+	deliverAt := n.sim.Now() + n.latency.Latency(c.local.Host, c.remote.Host)
+	// The FIN must not be lost under overload: data sends leave one slot of
+	// slack in the delivery queue (see enqueue), so this TrySend has room
+	// even when the pipeline is saturated. If the slot is somehow gone, a
+	// fallback daemon closes the peer directly after the wire latency — the
+	// peer must observe ErrClosed, never hang until its receive timeout.
+	if !c.out.TrySend(outMsg{deliverAt: deliverAt, fin: true}) {
+		peer := c.peer
+		n.sim.GoDaemon("fin:"+c.local.String(), func() {
+			n.sim.SleepUntil(deliverAt)
+			peer.markClosed()
+		})
+	}
+	if c.flushSig != nil {
+		c.flushSig.Close()
+	}
 	c.out.Close()
 }
 
@@ -747,5 +940,8 @@ func (c *Conn) markClosed() {
 	}
 	n.mu.Unlock()
 	c.in.Close()
+	if c.flushSig != nil {
+		c.flushSig.Close()
+	}
 	c.out.Close()
 }

@@ -1,0 +1,47 @@
+package wire
+
+// CRC16 (CCITT-FALSE: polynomial 0x1021, initial value 0xFFFF) frames
+// every binary envelope. The simulated transport never corrupts bytes, but
+// the checksum is what lets the decoder reject garbage cheaply — a frame
+// that is not a frame (fuzzed input, a stray JSON or handshake fragment)
+// fails the CRC before any field is parsed.
+
+const crcPoly = 0x1021
+
+var crcTable = buildCRCTable()
+
+func buildCRCTable() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ crcPoly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// CRC16 returns the CCITT-FALSE checksum of data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// checkCRC verifies a frame's trailing checksum and returns the frame body
+// without it.
+func checkCRC(frame []byte) (body []byte, ok bool) {
+	if len(frame) < 2 {
+		return nil, false
+	}
+	body = frame[:len(frame)-2]
+	want := uint16(frame[len(frame)-2])<<8 | uint16(frame[len(frame)-1])
+	return body, CRC16(body) == want
+}

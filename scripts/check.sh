@@ -46,6 +46,10 @@ echo "== fed smoke (federated invariants + replica scaling check)"
 go run ./cmd/dstgrid -fed-seeds 40 -smoke >/dev/null
 go run ./cmd/benchgrid -fig none -app federation -smoke >/dev/null
 
+echo "== wire smoke (codec fuzz seeds + B3 binary-beats-JSON gate)"
+go test -run FuzzWireEnvelope ./internal/wire >/dev/null
+go run ./cmd/benchgrid -fig none -app wire -smoke >/dev/null
+
 if [ "${QUICK:-0}" != "1" ]; then
     # Perf observatory: validate the snapshot shape (>= 8 series, 0
     # allocs/op on the histogram hot path) and compare a short measuring
