@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke wire-smoke cover bench-snapshot bench-check
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke wire-smoke slo-smoke cover bench-snapshot bench-check
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -61,6 +61,13 @@ fed-smoke:
 wire-smoke:
 	$(GO) test -run FuzzWireEnvelope ./internal/wire
 	$(GO) run ./cmd/benchgrid -fig none -app wire -smoke
+
+# SLO smoke: the B7 detection-latency study on the seconds-long chaos
+# configuration — exits non-zero unless the fault-free row is completely
+# silent (zero alerts, zero flight-recorder dumps) and the faulted row
+# pages within the detection budget with one validated black box per fire.
+slo-smoke:
+	$(GO) run ./cmd/benchgrid -fig none -app slo -smoke
 
 # Re-measure the performance baseline: full 1s-per-bench suite plus the
 # deterministic scenario, written to BENCH_grid.json. Commit the result

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchgrid [-fig 2|3|4|5|all]
-//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|wire|ablation|all]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|wire|slo|ablation|all]
 //	          [-seed N] [-trials N] [-json] [-smoke] [-analyze trace.jsonl]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
-	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, wire, ablation, all, or none")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, wire, slo, ablation, all, or none")
 	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
@@ -115,6 +115,8 @@ func main() {
 		federationStudy(*seed, *smoke)
 	case "wire":
 		wireStudy(*seed, *smoke)
+	case "slo":
+		sloStudy(*seed, *smoke)
 	case "ablation":
 		ablation()
 	case "all":
@@ -128,6 +130,7 @@ func main() {
 		chaosStudy(*seed, *smoke)
 		federationStudy(*seed, *smoke)
 		wireStudy(*seed, *smoke)
+		sloStudy(*seed, *smoke)
 		ablation()
 	case "none":
 	default:
@@ -226,6 +229,13 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) 
 			return err
 		}
 		out["b3_wire"] = res
+	}
+	if appOn("slo") {
+		res := experiments.SLOStudy(sloConfig(seed, smoke))
+		if err := sloCheck(res); err != nil {
+			return err
+		}
+		out["b7_slo"] = res
 	}
 	if appOn("ablation") {
 		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
@@ -533,6 +543,41 @@ func wireStudy(seed int64, smoke bool) {
 	fmt.Println(" beat JSON on both messages/sec and allocs/op; batching coalesces")
 	fmt.Println(" same-destination sends at the cost of up to its flush delay)")
 	if err := wireCheck(res); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgrid:", err)
+		os.Exit(1)
+	}
+}
+
+// sloConfig selects the SLO study size: the stock configuration over the
+// full chaos workload, or a seconds-long smoke setting for CI
+// (make slo-smoke). Both reuse the chaos workload so the detection-lag
+// numbers describe the same faults B2 already characterizes.
+func sloConfig(seed int64, smoke bool) experiments.SLOConfig {
+	if smoke {
+		return experiments.SLOSmokeConfig(seed)
+	}
+	return experiments.SLOConfig{Chaos: experiments.ChaosConfig{Seed: seed}}
+}
+
+// sloCheck enforces the B7 acceptance bar: fault-free rows are silent
+// (zero alerts, zero dumps), every faulted row fires at least one alert
+// within the detection budget, each fire freezes exactly one black box,
+// and every retained dump validates.
+func sloCheck(res experiments.SLOResult) error {
+	if bad := res.Check(); len(bad) > 0 {
+		return fmt.Errorf("slo: %s", bad[0])
+	}
+	return nil
+}
+
+func sloStudy(seed int64, smoke bool) {
+	section("B7 — SLO detection latency and flight-recorder coverage")
+	res := experiments.SLOStudy(sloConfig(seed, smoke))
+	fmt.Print(res.Table())
+	fmt.Println("(internal/slo over internal/flightrec: fault-free rows must stay")
+	fmt.Println(" silent; every faulted row must page within the detection budget,")
+	fmt.Println(" and each fire freezes one validated black-box dump)")
+	if err := sloCheck(res); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgrid:", err)
 		os.Exit(1)
 	}

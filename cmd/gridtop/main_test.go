@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplayDeterministic pins the dashboard's core promise: two replays
+// of the same seed render byte-identical frames, including the alert
+// transitions and black-box listings.
+func TestReplayDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run(&buf, 3, 0.75, time.Minute, true, 2); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return buf.String()
+	}
+	a := render()
+	if b := render(); a != b {
+		t.Fatalf("replays differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	for _, want := range []string{
+		"fire broker-orphans",
+		"ALERTING: [broker-orphans]",
+		"resolve broker-orphans",
+		"black boxes:",
+		"first page broker-orphans",
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("replay missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestFaultFreeReplayIsSilent pins the other half: a fault-free replay
+// renders no alerts and freezes no black boxes.
+func TestFaultFreeReplayIsSilent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, 0, time.Minute, true, 3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "summary: 0 alert fires, 0 resolves") || strings.Contains(out, "ALERTING") {
+		t.Fatalf("fault-free replay alerted:\n%s", out)
+	}
+	if !strings.Contains(out, "black boxes: 0 frozen") {
+		t.Fatalf("fault-free replay froze a black box:\n%s", out)
+	}
+}

@@ -177,20 +177,32 @@ func validateSmoke(snap perf.Snapshot, scenarioOnly bool) error {
 		}
 		for _, name := range []string{"trace_export_jsonl", "rpc_call", "transport_roundtrip",
 			"vtime_timer", "lrm_submit", "core_2pc", "broker_submit",
-			"wire_encode", "wire_decode"} {
+			"wire_encode", "wire_decode", "flightrec_record"} {
 			if snap.Find(name) == nil {
 				return fmt.Errorf("smoke: bench series %s missing", name)
 			}
+		}
+		if f := snap.Find("flightrec_record"); f.AllocsPerOp != 0 {
+			return fmt.Errorf("smoke: flightrec_record allocates %.2f/op, want 0", f.AllocsPerOp)
 		}
 	}
 	for _, name := range []string{"scenario.broker.load", "scenario.vtime.kernel",
 		"scenario.hist.rpc.call.latency", "scenario.hist.broker.request.latency",
 		"scenario.fed.load", "scenario.fed.hist.fed.election.latency",
 		"scenario.fed.hist.fed.handoff.time",
-		"scenario.wire.json", "scenario.wire.binary", "scenario.wire.binary_batched"} {
+		"scenario.wire.json", "scenario.wire.binary", "scenario.wire.binary_batched",
+		"scenario.slo.detection", "scenario.slo.flightrec"} {
 		if snap.Find(name) == nil {
 			return fmt.Errorf("smoke: scenario series %s missing", name)
 		}
+	}
+	if s := snap.Find("scenario.slo.detection"); s.Values["alerts_fired"] == 0 ||
+		s.Values["detection_lag_ms"] <= 0 {
+		return fmt.Errorf("smoke: slo scenario detected nothing (fired %.0f, lag %.0fms)",
+			s.Values["alerts_fired"], s.Values["detection_lag_ms"])
+	}
+	if s := snap.Find("scenario.slo.flightrec"); s.Values["dump_errors"] != 0 {
+		return fmt.Errorf("smoke: slo scenario produced %.0f invalid flight dumps", s.Values["dump_errors"])
 	}
 	if s := snap.Find("scenario.broker.load"); s.Values["completed"] == 0 {
 		return fmt.Errorf("smoke: scenario completed no requests")

@@ -36,6 +36,7 @@ import (
 
 	"cogrid/internal/agent"
 	"cogrid/internal/core"
+	"cogrid/internal/flightrec"
 	"cogrid/internal/gram"
 	"cogrid/internal/mds"
 	"cogrid/internal/metrics"
@@ -387,10 +388,12 @@ func (b *Broker) OrphansPending() int {
 	return len(b.orphans)
 }
 
-func (b *Broker) tracer() *trace.Tracer        { return b.host.Network().Tracer() }
-func (b *Broker) counters() *trace.Counters    { return b.host.Network().Counters() }
-func (b *Broker) gauges() *metrics.GaugeSet    { return b.host.Network().Gauges() }
-func (b *Broker) hists() *metrics.HistogramSet { return b.host.Network().Hists() }
+func (b *Broker) tracer() *trace.Tracer          { return b.host.Network().Tracer() }
+func (b *Broker) counters() *trace.Counters      { return b.host.Network().Counters() }
+func (b *Broker) gauges() *metrics.GaugeSet      { return b.host.Network().Gauges() }
+func (b *Broker) hists() *metrics.HistogramSet   { return b.host.Network().Hists() }
+func (b *Broker) samples() *metrics.SampleLogSet { return b.host.Network().Samples() }
+func (b *Broker) flight() *flightrec.Recorder    { return b.host.Network().FlightRec() }
 
 // count increments broker.object.verb@<replica-id> (the host name
 // outside federations).
@@ -659,8 +662,11 @@ func (b *Broker) serve(t *ticket) {
 	}
 
 	reply.Elapsed = b.sim.Now() - t.enqueuedAt
-	// End-to-end broker-side request latency, all outcomes.
+	// End-to-end broker-side request latency, all outcomes: the cumulative
+	// histogram for end-of-run quantiles, and the timestamped sample log
+	// the SLO engine burn-rates over sliding windows.
 	b.hists().H("broker.request.latency").Record(int64(reply.Elapsed))
+	b.samples().L("broker.request.latency@" + b.opts.ReplicaID).Record(int64(reply.Elapsed))
 	outcome := "ok"
 	switch {
 	case abandoned:
@@ -786,6 +792,9 @@ func (b *Broker) attempt(t *ticket, attempt int, deadline time.Duration) (agent.
 				b.count("watchdog", "abort", 1)
 				b.tracer().InstantCtx(attemptCtx, "broker", "watchdog-abort", b.host.Name(), req.Tenant, b.corr(t),
 					trace.Arg{Key: "budget", Val: (budget + watchdogGrace).String()})
+				// A hung 2PC attempt is exactly the moment the black box
+				// exists for: freeze the recent past before aborting.
+				b.flight().Trigger("watchdog-abort", b.opts.ReplicaID+" "+b.corr(t))
 				job.Abort("broker: attempt watchdog fired after " + (budget + watchdogGrace).String())
 			})
 		},
@@ -829,6 +838,7 @@ func (b *Broker) addOrphan(o core.Orphan) {
 		// Gauge tracks distinct unreaped orphans; a re-recorded key (the
 		// same subjob orphaned again before its reap) must not double-count.
 		b.gauges().G("broker.orphans@" + b.opts.ReplicaID).Add(1)
+		b.flight().Trigger("orphan", b.opts.ReplicaID+" "+key)
 	}
 	b.count("orphan", "record", 1)
 	// The event args must not depend on the orphan set's size: concurrent

@@ -7,7 +7,9 @@ import (
 
 	"cogrid/internal/core"
 	"cogrid/internal/federation"
+	"cogrid/internal/flightrec"
 	"cogrid/internal/grid"
+	"cogrid/internal/slo"
 	"cogrid/internal/trace"
 )
 
@@ -43,6 +45,16 @@ type observations struct {
 	deadlock   error
 	recorded   int64
 	reaped     int64
+	// bugs mirrors RunOptions.Bugs: a deliberately-broken protocol can
+	// legitimately orphan and alert on a fault-free scenario, so the
+	// no-false-positive checks stand down for self-test runs.
+	bugs core.Bugs
+	// alerts is the SLO engine's full alert log; dumps the flight
+	// recorder's retained dumps; dumpSkipped the triggers beyond its
+	// retention bound.
+	alerts      []slo.Alert
+	dumps       []flightrec.Dump
+	dumpSkipped int64
 }
 
 // checkInvariants runs the whole library. The order of violations is
@@ -70,6 +82,71 @@ func checkInvariants(o observations) []Violation {
 		v = append(v, checkFederation(o)...)
 	}
 	v = append(v, checkTrace(o)...)
+	v = append(v, checkSLO(o)...)
+	return v
+}
+
+// checkSLO audits the observability plane itself.
+//
+// slo-false-positive: a fault-free scenario (with a correct protocol)
+// must fire zero alerts and trigger zero dumps — the DST rules only watch
+// signals a healthy run cannot move.
+//
+// slo-dump: every SLO fire freezes exactly one black box, so the count of
+// slo-kind dumps equals the count of fire transitions (checkable only
+// while the recorder retained every trigger).
+//
+// flight-dump: every retained dump's events satisfy the windowed trace
+// well-formedness rules.
+func checkSLO(o observations) []Violation {
+	var v []Violation
+	fires := 0
+	for _, a := range o.alerts {
+		if a.State == "fire" {
+			fires++
+		}
+	}
+	if len(o.sc.Faults) == 0 && o.bugs == (core.Bugs{}) {
+		if fires > 0 {
+			v = append(v, Violation{
+				Invariant: "slo-false-positive",
+				Detail: fmt.Sprintf("fault-free scenario fired %d alerts (first: %s %s)",
+					fires, o.alerts[0].Rule, o.alerts[0].Detail),
+			})
+		}
+		if n := len(o.dumps) + int(o.dumpSkipped); n > 0 {
+			first := "(all beyond retention)"
+			if len(o.dumps) > 0 {
+				first = o.dumps[0].Trigger
+			}
+			v = append(v, Violation{
+				Invariant: "slo-false-positive",
+				Detail:    fmt.Sprintf("fault-free scenario triggered %d flight-recorder dumps (first: %s)", n, first),
+			})
+		}
+	}
+	if o.dumpSkipped == 0 {
+		sloDumps := 0
+		for _, d := range o.dumps {
+			if d.Kind() == "slo" {
+				sloDumps++
+			}
+		}
+		if sloDumps != fires {
+			v = append(v, Violation{
+				Invariant: "slo-dump",
+				Detail:    fmt.Sprintf("%d alert fires but %d slo dumps", fires, sloDumps),
+			})
+		}
+	}
+	for _, d := range o.dumps {
+		if err := flightrec.Validate(d.Events); err != nil {
+			v = append(v, Violation{
+				Invariant: "flight-dump",
+				Detail:    fmt.Sprintf("dump %s at %v: %v", d.Trigger, d.At, err),
+			})
+		}
+	}
 	return v
 }
 

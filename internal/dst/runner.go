@@ -16,6 +16,7 @@ import (
 	"cogrid/internal/grid"
 	"cogrid/internal/lrm"
 	"cogrid/internal/mds"
+	"cogrid/internal/slo"
 	"cogrid/internal/trace"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
@@ -42,10 +43,14 @@ type RunResult struct {
 	// activity across all replicas (fed driver only): election wins,
 	// journal entries handed off from dead replicas, and forwarded
 	// requests committed by a peer.
-	Elections int64         `json:"elections,omitempty"`
-	Handoffs  int64         `json:"handoffs,omitempty"`
-	Forwards  int64         `json:"forwards,omitempty"`
-	End       time.Duration `json:"end"`
+	Elections int64 `json:"elections,omitempty"`
+	Handoffs  int64 `json:"handoffs,omitempty"`
+	Forwards  int64 `json:"forwards,omitempty"`
+	// Alerts counts SLO fire transitions; Dumps counts retained flight-
+	// recorder dumps. Fault-free scenarios owe zero of both (an invariant).
+	Alerts int           `json:"alerts,omitempty"`
+	Dumps  int           `json:"dumps,omitempty"`
+	End    time.Duration `json:"end"`
 }
 
 // OK reports whether the run held every invariant.
@@ -217,6 +222,15 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 		}
 	}
 
+	// The SLO engine watches the run live, exactly as production would:
+	// its daemon evaluates fault-linked objectives on a lagged horizon and
+	// fires alerts (plus flight-recorder dumps) while faults are active.
+	engine := slo.New(slo.Deps{
+		Sim: g.Sim, Tracer: g.Tracer, Counters: g.Counters,
+		Gauges: g.Gauges, Samples: g.Samples, Flight: g.Flight,
+	}, sloRules(sc), slo.Options{EvalInterval: 10 * time.Second})
+	engine.Start()
+
 	plan, healBy := materializeFaults(sc.Faults, peer)
 	var maxTime, lastArrival time.Duration
 	for _, j := range sc.Jobs {
@@ -357,16 +371,69 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 	}
 	res.Orphans = recorded
 
+	engine.Stop()
+	alerts := engine.Alerts()
+	dumps := g.Flight.Dumps()
+	res.Alerts = engine.Fires()
+	res.Dumps = len(dumps)
+
 	res.Violations = checkInvariants(observations{
-		sc:         sc,
-		g:          g,
-		jobs:       jobs,
-		fedEntries: fedEntries,
-		deadlock:   err,
-		recorded:   recorded,
-		reaped:     reaped,
+		sc:          sc,
+		g:           g,
+		jobs:        jobs,
+		fedEntries:  fedEntries,
+		deadlock:    err,
+		recorded:    recorded,
+		reaped:      reaped,
+		bugs:        opts.Bugs,
+		alerts:      alerts,
+		dumps:       dumps,
+		dumpSkipped: g.Flight.Skipped(),
 	})
+	if len(res.Violations) > 0 {
+		// Freeze the black box for the failing run: the dump is for the
+		// human replaying the shrunk scenario, so it is taken after the
+		// checks and never feeds back into them.
+		g.Flight.Trigger("invariant", res.Violations[0].Invariant)
+	}
 	return res, nil
+}
+
+// sloRules is the standard DST objective set. Every rule is tied to a
+// signal that cannot move on a fault-free run — non-shutdown transport
+// drops, unreaped orphans, missing federation replicas — so the
+// no-false-positive invariant holds across arbitrary random scenarios,
+// while any fault that breaches an objective must alert.
+func sloRules(sc Scenario) []slo.Rule {
+	rules := []slo.Rule{{
+		Name:     "transport-drop-storm",
+		Kind:     slo.KindRateDelta,
+		Metric:   "transport.drops",
+		Window:   2 * time.Minute,
+		Value:    1,
+		Severity: "page",
+	}}
+	switch sc.Driver {
+	case DriverBroker:
+		rules = append(rules, slo.Rule{
+			Name:     "broker-orphans",
+			Kind:     slo.KindGaugeLevel,
+			Metric:   "broker.orphans@broker0",
+			Op:       ">=",
+			Value:    1,
+			Severity: "page",
+		})
+	case DriverFed:
+		rules = append(rules, slo.Rule{
+			Name:     "fed-replica-down",
+			Kind:     slo.KindGaugeLevel,
+			Metric:   "fed.live_replicas",
+			Op:       "<=",
+			Value:    float64(sc.Replicas) - 0.5,
+			Severity: "page",
+		})
+	}
+	return rules
 }
 
 // appExecutable is the standard instrumented application: attach to the

@@ -108,6 +108,7 @@ type ChaosRow struct {
 	FaultRate       float64       `json:"fault_rate"`
 	Faults          int           `json:"faults"`
 	FaultKinds      string        `json:"fault_kinds,omitempty"`
+	FirstFault      time.Duration `json:"first_fault,omitempty"`
 	Requests        int           `json:"requests"`
 	Completed       int           `json:"completed"`
 	Failed          int           `json:"failed"`
@@ -214,6 +215,13 @@ func drawPlan(cfg ChaosConfig, faultRate float64, rng *rand.Rand, start time.Dur
 // run's Tracer and Counters; two same-seed runs export byte-identical
 // traces and counter tables.
 func ChaosRun(cfg ChaosConfig, faultRate float64) (ChaosRow, *grid.Grid) {
+	return chaosRun(cfg, faultRate, nil)
+}
+
+// chaosRun is ChaosRun with a pre-run hook: onGrid (when non-nil) runs
+// after the testbed is assembled but before the simulation starts, so the
+// SLO study can arm its engine against the same workload B2 uses.
+func chaosRun(cfg ChaosConfig, faultRate float64, onGrid func(*grid.Grid)) (ChaosRow, *grid.Grid) {
 	cfg.fill()
 	seed := cfg.Seed + int64(faultRate*1000)*13
 	blc := BrokerLoadConfig{
@@ -252,6 +260,10 @@ func ChaosRun(cfg ChaosConfig, faultRate float64) (ChaosRow, *grid.Grid) {
 		Requests:   cfg.Requests,
 		Faults:     countFaultOnsets(plan),
 		FaultKinds: faultKindSummary(plan),
+		FirstFault: firstFaultOnset(plan),
+	}
+	if onGrid != nil {
+		onGrid(g)
 	}
 	var mu sync.Mutex
 	var latencies []float64
@@ -342,6 +354,24 @@ func chaosSubmit(host *transport.Host, b *broker.Broker, req broker.Request, bud
 	reply, _, err := c.SubmitWait(req, budget, 50)
 	host.Network().Tracer().SpanAtCtx(ctx, "client", "request", host.Name(), req.Tenant, "", start, sim.Now())
 	return reply, err == nil
+}
+
+// firstFaultOnset returns the earliest onset time in the plan (the plan
+// is sorted, but healing actions of an earlier fault can precede a later
+// onset, so scan for the first real onset). Zero when the plan is empty.
+func firstFaultOnset(plan failure.Plan) time.Duration {
+	for _, a := range plan {
+		switch a.Kind {
+		case failure.HostHang, failure.MachineDown, failure.Partition,
+			failure.HostCrash, failure.RevokeUser:
+			return a.At
+		case failure.MachineSlow:
+			if a.Factor > 1 {
+				return a.At
+			}
+		}
+	}
+	return 0
 }
 
 // countFaultOnsets counts fault injections (healing actions excluded).

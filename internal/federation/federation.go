@@ -404,6 +404,9 @@ func (r *Replica) Crash() {
 	f.counters().Add(trace.Key("fed", "replica", "crash", r.name), 1)
 	f.gauges().G("fed.live_replicas").Add(-1)
 	f.tracer().InstantCtx(inc.ctx, "fed", "crash", r.name, r.name, "")
+	// Black-box the moments before the crash: the handoff and re-election
+	// that follow are best debugged from what the dead replica last saw.
+	f.net.FlightRec().Trigger("replica-crash", r.name)
 }
 
 // Restart brings the replica back as a fresh process: empty journal,

@@ -9,6 +9,7 @@ import (
 	"io"
 	"time"
 
+	"cogrid/internal/flightrec"
 	"cogrid/internal/gram"
 	"cogrid/internal/gsi"
 	"cogrid/internal/lrm"
@@ -58,6 +59,8 @@ type Grid struct {
 	Counters    *trace.Counters
 	Gauges      *metrics.GaugeSet
 	Hists       *metrics.HistogramSet
+	Samples     *metrics.SampleLogSet
+	Flight      *flightrec.Recorder
 
 	opts     Options
 	machines map[string]*lrm.Machine
@@ -98,10 +101,19 @@ func New(opts Options) *Grid {
 		g.Counters = trace.NewCounters()
 		g.Gauges = metrics.NewGaugeSet(sim)
 		g.Hists = metrics.NewHistogramSet()
+		g.Samples = metrics.NewSampleLogSet(sim)
+		g.Flight = flightrec.New(sim, flightrec.Options{})
+		g.Flight.SetCounters(g.Counters)
 		net.SetTracer(g.Tracer)
 		net.SetCounters(g.Counters)
 		net.SetGauges(g.Gauges)
 		net.SetHists(g.Hists)
+		net.SetSamples(g.Samples)
+		net.SetFlightRec(g.Flight)
+		// The flight recorder taps the tracer: every event any layer emits
+		// is mirrored into its bounded per-component ring, so the black box
+		// is always armed without any layer opting in.
+		g.Tracer.SetTap(g.Flight)
 		// Kernel probes: timer lead times and dispatch batch sizes land in
 		// the same registry as the layer histograms. Histogram recording is
 		// atomic-only, so it is safe under the kernel lock.

@@ -115,6 +115,25 @@ func (g *Gauge) at(t time.Duration) float64 {
 	return v
 }
 
+// DeltaBetween returns the net change over the half-open virtual-time
+// window (from, to]: the sum of deltas stamped after from and at or before
+// to. Like Value it is order-independent within an instant, so windowed
+// rate queries at fixed horizons are deterministic. Nil-safe.
+func (g *Gauge) DeltaBetween(from, to time.Duration) float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var v float64
+	for _, d := range g.deltas {
+		if d.at > from && d.at <= to {
+			v += d.d
+		}
+	}
+	return v
+}
+
 // Series is a fixed-cadence resampling of a gauge set: Values[i][j] is
 // gauge Names[j] at virtual time Times[i].
 type Series struct {

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"cogrid/internal/vtime"
+)
+
+// Sample logs are the windowed twin of histograms. A Histogram aggregates
+// forever — perfect for end-of-run quantiles, useless for "p95 over the
+// last two minutes". A SampleLog keeps each observation with its virtual
+// timestamp so any time window can be re-queried after the fact, and —
+// because the multiset of samples stamped at or before a horizon t is
+// final once the virtual clock passes t — windowed queries at a lagged
+// horizon are deterministic for same-seed runs even though samples from
+// one instant arrive in racy real-time order. The SLO engine evaluates
+// burn rates exclusively against these logs (and gauge delta logs), never
+// against live cumulative atomics.
+
+// SampleLogSet is a registry of named sample logs sharing one virtual
+// clock. All methods are nil-safe.
+type SampleLogSet struct {
+	sim  *vtime.Sim
+	mu   sync.Mutex
+	logs map[string]*SampleLog
+}
+
+// NewSampleLogSet creates a sample-log registry stamping with sim's clock.
+func NewSampleLogSet(sim *vtime.Sim) *SampleLogSet {
+	return &SampleLogSet{sim: sim, logs: map[string]*SampleLog{}}
+}
+
+// L returns the log named name, creating it on first use. Returns nil on a
+// nil set; a nil *SampleLog accepts Record as a no-op.
+func (s *SampleLogSet) L(name string) *SampleLog {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.logs[name]
+	if l == nil {
+		l = &SampleLog{sim: s.sim}
+		s.logs[name] = l
+	}
+	return l
+}
+
+// Names returns the registered log names, sorted.
+func (s *SampleLogSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.logs))
+	for n := range s.logs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SampleLog is one timestamped observation stream.
+type SampleLog struct {
+	sim     *vtime.Sim
+	mu      sync.Mutex
+	samples []timedSample
+}
+
+type timedSample struct {
+	at time.Duration
+	v  int64
+}
+
+// Record appends v stamped with the current virtual time. Nil-safe.
+func (l *SampleLog) Record(v int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.samples = append(l.samples, timedSample{at: l.sim.Now(), v: v})
+	l.mu.Unlock()
+}
+
+// Count returns the number of recorded samples. Nil-safe.
+func (l *SampleLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Window materializes the samples stamped in the half-open virtual-time
+// window (from, to], sorted by value — a deterministic multiset for any
+// horizon the virtual clock has passed. Nil-safe (returns an empty window).
+func (l *SampleLog) Window(from, to time.Duration) SampleWindow {
+	if l == nil {
+		return SampleWindow{}
+	}
+	l.mu.Lock()
+	var vals []int64
+	for _, s := range l.samples {
+		if s.at > from && s.at <= to {
+			vals = append(vals, s.v)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return SampleWindow{values: vals}
+}
+
+// SampleWindow is one windowed query result: an immutable sorted multiset.
+type SampleWindow struct {
+	values []int64
+}
+
+// Count returns the number of samples in the window.
+func (w SampleWindow) Count() int { return len(w.values) }
+
+// CountAbove returns how many samples exceed v.
+func (w SampleWindow) CountAbove(v int64) int {
+	return len(w.values) - sort.Search(len(w.values), func(i int) bool { return w.values[i] > v })
+}
+
+// Quantile returns the exact-rank q-quantile (0 <= q <= 1) of the window,
+// or 0 on an empty window.
+func (w SampleWindow) Quantile(q float64) int64 {
+	if len(w.values) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q * float64(len(w.values)-1))
+	return w.values[i]
+}

@@ -107,6 +107,56 @@ func histSeries(g *grid.Grid, prefix string) []Series {
 	return out
 }
 
+// sloScenarioFaultRate pins the fault rate the SLO scenario replays: the
+// smoke configuration's faulted row, where the orphan rule pages.
+const sloScenarioFaultRate = 0.75
+
+// RunSLOScenario executes the deterministic chaos workload with the SLO
+// engine armed (the faulted row of the B7 smoke configuration) and
+// distills the observability plane's behavior into "scenario.slo"
+// series: alert and dump counts, the virtual-time detection lag from
+// first fault onset to first page, and the fault-linked signal levels at
+// quiescence. Byte-stable run to run like every scenario series.
+func RunSLOScenario(seed int64) ([]Series, *grid.Grid) {
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := experiments.SLOSmokeConfig(seed)
+	row, g, _ := experiments.SLORun(cfg, sloScenarioFaultRate)
+	end := g.Sim.Now()
+	series := []Series{
+		{
+			Name: "scenario.slo.detection",
+			Kind: "scenario",
+			N:    row.Requests,
+			Values: map[string]float64{
+				"faults":           float64(row.Faults),
+				"first_fault_ms":   float64(row.FirstFault) / float64(time.Millisecond),
+				"alerts_fired":     float64(row.Alerts),
+				"alerts_resolved":  float64(row.Resolves),
+				"detection_lag_ms": float64(row.DetectionLag) / float64(time.Millisecond),
+				"completed":        float64(row.Completed),
+				"failed":           float64(row.Failed),
+			},
+		},
+		{
+			Name: "scenario.slo.flightrec",
+			Kind: "scenario",
+			N:    int(row.Dumps),
+			Values: map[string]float64{
+				"dumps":           float64(row.Dumps),
+				"slo_dumps":       float64(row.SLODumps),
+				"dump_errors":     float64(row.DumpErrors),
+				"dump_skipped":    float64(row.DumpSkipped),
+				"transport_drops": g.Gauges.G("transport.drops").Value(end),
+				"orphans_end":     g.Gauges.G("broker.orphans@broker0").Value(end),
+				"alerts_active":   g.Gauges.G("slo.alerts.active").Value(end),
+			},
+		},
+	}
+	return series, g
+}
+
 // wireScenarioMessages and wireScenarioBody pin the fixed stream the wire
 // scenario runs per codec setting: enough messages that batch sizes and
 // byte counts are stable, small enough to finish in milliseconds.

@@ -158,6 +158,8 @@ func Run(cfg RunConfig) (Snapshot, error) {
 		fed, _, _ := RunFedScenario(cfg.Seed)
 		snap.Series = append(snap.Series, fed...)
 		snap.Series = append(snap.Series, RunWireScenario(cfg.Seed)...)
+		sloScen, _ := RunSLOScenario(cfg.Seed)
+		snap.Series = append(snap.Series, sloScen...)
 	}
 	return snap, nil
 }

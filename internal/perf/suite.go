@@ -17,6 +17,7 @@ import (
 	"cogrid/internal/agent"
 	"cogrid/internal/broker"
 	"cogrid/internal/core"
+	"cogrid/internal/flightrec"
 	"cogrid/internal/grid"
 	"cogrid/internal/lrm"
 	"cogrid/internal/mds"
@@ -65,6 +66,14 @@ func Suite() []Bench {
 			Name: "trace_export_jsonl",
 			Desc: "pooled JSONL encode of one trace event",
 			F:    benchTraceExportJSONL,
+		},
+		{
+			Name: "flightrec_record",
+			Desc: "flight-recorder ring record of one trace event (must be 0 allocs/op)",
+			F:    benchFlightrecRecord,
+			Derive: func(r testing.BenchmarkResult) map[string]float64 {
+				return map[string]float64{"events_per_sec": opsPerSec(r)}
+			},
 		},
 		{
 			Name: "wire_encode",
@@ -177,6 +186,22 @@ func benchTraceExportJSONL(b *testing.B) {
 		if err := trace.WriteJSONL(io.Discard, ev); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func benchFlightrecRecord(b *testing.B) {
+	sim := vtime.New()
+	rec := flightrec.New(sim, flightrec.Options{RingCap: 512})
+	ev := trace.Event{
+		At: time.Millisecond, Cat: "rpc", Name: "call:submit",
+		Proc: "workstation", Thr: "client", Req: "req-1", Span: "/call",
+		Args: []trace.Arg{{Key: "outcome", Val: "ok"}},
+	}
+	rec.Record(ev) // create the ring outside the measured region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(ev)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cogrid/internal/vtime"
@@ -111,10 +112,19 @@ func ParseCtx(s string) Ctx {
 	return Ctx{Req: s[:i], Span: s[i+1:]}
 }
 
+// Tap observes every event the tracer records, synchronously on the
+// emitting goroutine. A tap must be cheap and must not call back into the
+// tracer. The flight recorder is the canonical tap: it mirrors the live
+// event stream into bounded ring buffers without growing the trace.
+type Tap interface {
+	Record(Event)
+}
+
 // Tracer records events in virtual time. The zero value is not usable;
 // create with New. A nil *Tracer is a valid no-op tracer.
 type Tracer struct {
 	sim    *vtime.Sim
+	tap    atomic.Pointer[Tap]
 	mu     sync.Mutex
 	events []Event
 }
@@ -135,6 +145,19 @@ func (t *Tracer) Now() time.Duration {
 	return t.sim.Now()
 }
 
+// SetTap installs tap to observe every subsequent event; nil detaches.
+// Nil-safe on a nil tracer.
+func (t *Tracer) SetTap(tap Tap) {
+	if t == nil {
+		return
+	}
+	if tap == nil {
+		t.tap.Store(nil)
+		return
+	}
+	t.tap.Store(&tap)
+}
+
 // Emit records ev as given. Nil-safe.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
@@ -143,6 +166,9 @@ func (t *Tracer) Emit(ev Event) {
 	t.mu.Lock()
 	t.events = append(t.events, ev)
 	t.mu.Unlock()
+	if tap := t.tap.Load(); tap != nil {
+		(*tap).Record(ev)
+	}
 }
 
 // Instant records an instant event stamped now. Nil-safe.
@@ -249,6 +275,11 @@ func (t *Tracer) Events() []Event {
 func Sort(events []Event) {
 	sort.SliceStable(events, func(i, j int) bool { return less(events[i], events[j]) })
 }
+
+// Less reports whether a sorts strictly before b in the deterministic
+// export order — the comparator behind Sort, exported so dump validators
+// can verify an event stream is already in trace order.
+func Less(a, b Event) bool { return less(a, b) }
 
 func less(a, b Event) bool {
 	if a.At != b.At {

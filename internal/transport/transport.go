@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cogrid/internal/flightrec"
 	"cogrid/internal/metrics"
 	"cogrid/internal/trace"
 	"cogrid/internal/vtime"
@@ -174,6 +175,8 @@ type Network struct {
 	counters atomic.Pointer[trace.Counters]
 	gauges   atomic.Pointer[metrics.GaugeSet]
 	hists    atomic.Pointer[metrics.HistogramSet]
+	samples  atomic.Pointer[metrics.SampleLogSet]
+	flight   atomic.Pointer[flightrec.Recorder]
 }
 
 // New creates a network on sim with the given latency model.
@@ -231,6 +234,24 @@ func (n *Network) SetHists(h *metrics.HistogramSet) { n.hists.Store(h) }
 // Hists returns the attached histogram registry, or nil (which is itself a
 // valid no-op registry).
 func (n *Network) Hists() *metrics.HistogramSet { return n.hists.Load() }
+
+// SetSamples attaches a sample-log registry: timestamped observation
+// streams the SLO engine queries over sliding windows. As with the other
+// registries, layers above read it from here. Nil disables it.
+func (n *Network) SetSamples(s *metrics.SampleLogSet) { n.samples.Store(s) }
+
+// Samples returns the attached sample-log registry, or nil (which is
+// itself a valid no-op registry).
+func (n *Network) Samples() *metrics.SampleLogSet { return n.samples.Load() }
+
+// SetFlightRec attaches the flight recorder so any layer can freeze the
+// black box at a trigger point (watchdog abort, orphan record, replica
+// crash). Nil (the default) disables triggers.
+func (n *Network) SetFlightRec(r *flightrec.Recorder) { n.flight.Store(r) }
+
+// FlightRec returns the attached flight recorder, or nil (which is itself
+// a valid no-op recorder).
+func (n *Network) FlightRec() *flightrec.Recorder { return n.flight.Load() }
 
 // AddHost registers a host by name. Adding an existing name returns the
 // existing host.
@@ -697,11 +718,20 @@ func (c *Conn) deliver(payload []byte, sentAt time.Duration, ctx trace.Ctx, deli
 		trace.Arg{Key: "bytes", Val: strconv.Itoa(len(payload))})
 }
 
-// dropped accounts for a message lost on this end's send path.
+// dropped accounts for a message lost on this end's send path: the
+// per-conn counter, per-host and per-reason registry counters, the
+// network-wide drop gauge the SLO engine windows over, and a trace
+// instant carrying the reason. "conn-closed" is excluded from the SLO
+// gauge — losing a message to a connection the application itself is
+// tearing down is a normal shutdown race, not wire loss.
 func (c *Conn) dropped(size int, reason string, ctx trace.Ctx) {
 	c.cDrop.Add(1)
 	if ctrs := c.net.Counters(); ctrs != nil {
 		ctrs.Add(trace.Key("transport", "msgs", "drop", c.local.Host), 1)
+		ctrs.Add(trace.Key("transport", "drop", reason, c.local.Host), 1)
+	}
+	if reason != "conn-closed" {
+		c.net.Gauges().G("transport.drops").Add(1)
 	}
 	c.net.Tracer().InstantCtx(ctx, "transport", "drop", c.local.Host, c.dirFlow, c.flow,
 		trace.Arg{Key: "bytes", Val: strconv.Itoa(size)},

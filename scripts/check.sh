@@ -50,6 +50,9 @@ echo "== wire smoke (codec fuzz seeds + B3 binary-beats-JSON gate)"
 go test -run FuzzWireEnvelope ./internal/wire >/dev/null
 go run ./cmd/benchgrid -fig none -app wire -smoke >/dev/null
 
+echo "== slo smoke (zero false positives + bounded detection lag gate)"
+go run ./cmd/benchgrid -fig none -app slo -smoke >/dev/null
+
 if [ "${QUICK:-0}" != "1" ]; then
     # Perf observatory: validate the snapshot shape (>= 8 series, 0
     # allocs/op on the histogram hot path) and compare a short measuring
