@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke wire-smoke slo-smoke cover bench-snapshot bench-check
+.PHONY: check quick vet build test race bench-smoke chaos-smoke trace-smoke dst-smoke fed-smoke wire-smoke slo-smoke scale-smoke cover bench-snapshot bench-check
 
 # The full verification gate (vet, build, test, race test).
 check:
@@ -69,11 +69,19 @@ wire-smoke:
 slo-smoke:
 	$(GO) run ./cmd/benchgrid -fig none -app slo -smoke
 
-# Re-measure the performance baseline: full 1s-per-bench suite plus the
-# deterministic scenario, written to BENCH_grid.json. Commit the result
-# when a perf change is intentional.
+# Scale smoke: the B4 job stream on a seconds-long configuration, run
+# twice — once on the reference heap timer engine, once on the production
+# timing wheel — exits non-zero if any deterministic virtual-time column
+# differs between the engines or any job fails or goes missing.
+scale-smoke:
+	$(GO) run ./cmd/benchgrid -fig none -app scale -smoke
+
+# Re-measure the performance baseline: full 1s-per-bench suite, the
+# deterministic scenarios, and the full-size B4 scale run (minutes of
+# wall clock), written to BENCH_grid.json. Commit the result when a perf
+# change is intentional.
 bench-snapshot:
-	$(GO) run ./cmd/perfgrid -out BENCH_grid.json
+	$(GO) run ./cmd/perfgrid -out BENCH_grid.json -scale
 
 # Fast perf regression check against the committed baseline: smoke-length
 # benches, report-only unless STRICT_BENCH=1 (then >20% ns/op fails).

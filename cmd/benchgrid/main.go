@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchgrid [-fig 2|3|4|5|all]
-//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|wire|slo|ablation|all]
+//	          [-app atomic|bigrun|overprov|staleness|reserve|load|broker|chaos|federation|wire|slo|scale|ablation|all]
 //	          [-seed N] [-trials N] [-json] [-smoke] [-analyze trace.jsonl]
 //
 // With no flags everything runs. Timings are virtual (simulated) seconds;
@@ -22,6 +22,10 @@
 // records an orphan that was never reaped. The wire study (B3) likewise
 // enforces its acceptance bar: the binary codec must beat JSON on both
 // messages/sec and allocs/op, with zero drops in the deterministic rows.
+// The scale study (B4) smoke configuration runs the same job stream on
+// the reference heap and the production timing wheel and exits non-zero
+// if any deterministic virtual-time column differs between the engines,
+// or if any job fails or goes missing.
 package main
 
 import (
@@ -35,11 +39,12 @@ import (
 	"cogrid/internal/experiments"
 	"cogrid/internal/perf"
 	"cogrid/internal/trace"
+	"cogrid/internal/vtime"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, or all")
-	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, wire, slo, ablation, all, or none")
+	app := flag.String("app", "all", "application study: atomic, bigrun, overprov, staleness, reserve, load, broker, chaos, federation, wire, slo, scale, ablation, all, or none")
 	seed := flag.Int64("seed", 1, "random seed for stochastic studies")
 	trials := flag.Int("trials", 5, "trials per setting in stochastic studies")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text tables (durations in nanoseconds)")
@@ -117,6 +122,8 @@ func main() {
 		wireStudy(*seed, *smoke)
 	case "slo":
 		sloStudy(*seed, *smoke)
+	case "scale":
+		scaleStudy(*seed, *smoke)
 	case "ablation":
 		ablation()
 	case "all":
@@ -131,6 +138,7 @@ func main() {
 		federationStudy(*seed, *smoke)
 		wireStudy(*seed, *smoke)
 		sloStudy(*seed, *smoke)
+		scaleStudy(*seed, *smoke)
 		ablation()
 	case "none":
 	default:
@@ -236,6 +244,13 @@ func emitJSON(w io.Writer, fig, app string, seed int64, trials int, smoke bool) 
 			return err
 		}
 		out["b7_slo"] = res
+	}
+	if appOn("scale") {
+		res := experiments.ScaleStudy(scaleConfig(seed, smoke))
+		if err := scaleCheck(res); err != nil {
+			return err
+		}
+		out["b4_scale"] = res
 	}
 	if appOn("ablation") {
 		out["ab1_submission_ablation"] = experiments.SubmissionAblation(64, []int{1, 5, 10, 25})
@@ -578,6 +593,59 @@ func sloStudy(seed int64, smoke bool) {
 	fmt.Println(" silent; every faulted row must page within the detection budget,")
 	fmt.Println(" and each fire freezes one validated black-box dump)")
 	if err := sloCheck(res); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgrid:", err)
+		os.Exit(1)
+	}
+}
+
+// scaleConfig selects the scale study size: the stock 10⁶-job run on the
+// production wheel alone, or a seconds-long dual-engine smoke setting for
+// CI (make scale-smoke) whose rows benchgrid diffs column by column.
+func scaleConfig(seed int64, smoke bool) experiments.ScaleConfig {
+	if !smoke {
+		return experiments.ScaleConfig{Seed: seed}
+	}
+	return experiments.ScaleConfig{
+		Jobs:             10_000,
+		Machines:         100,
+		MachineSize:      32,
+		MeanInterarrival: 200 * time.Millisecond,
+		Engines:          []vtime.TimerEngine{vtime.EngineHeap, vtime.EngineWheel},
+		Seed:             seed,
+	}
+}
+
+// scaleCheck enforces the B4 acceptance bar: every row accounts for every
+// job with zero failures (wall limits are sized so a correctly scheduled
+// job cannot hit one), and when the sweep runs more than one timer engine,
+// every deterministic virtual-time column must agree across the rows —
+// the smoke-sized kernel-equivalence differential.
+func scaleCheck(res experiments.ScaleResult) error {
+	for _, row := range res.Rows {
+		if got := row.Done + row.Failed; got != int64(res.Jobs) {
+			return fmt.Errorf("scale: engine %s accounted for %d of %d jobs", row.Engine, got, res.Jobs)
+		}
+		if row.Failed != 0 {
+			return fmt.Errorf("scale: engine %s failed %d jobs", row.Engine, row.Failed)
+		}
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if !res.Rows[0].VirtualEqual(res.Rows[i]) {
+			return fmt.Errorf("scale: engines %s and %s diverge on virtual-time columns:\n  %+v\n  %+v",
+				res.Rows[0].Engine, res.Rows[i].Engine, res.Rows[0], res.Rows[i])
+		}
+	}
+	return nil
+}
+
+func scaleStudy(seed int64, smoke bool) {
+	section("B4 — kernel throughput at scale: timer wheel vs reference heap")
+	res := experiments.ScaleStudy(scaleConfig(seed, smoke))
+	fmt.Print(res.Table())
+	fmt.Println("(internal/vtime + internal/lrm: the timing wheel, passive dispatch")
+	fmt.Println(" pool, and release index carry the whole job stream; dual-engine")
+	fmt.Println(" rows must agree on every virtual-time column, byte for byte)")
+	if err := scaleCheck(res); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgrid:", err)
 		os.Exit(1)
 	}

@@ -10,9 +10,12 @@
 //	dstgrid -seed 42                   # one seed, full profile
 //	dstgrid -scenario '<json>'         # replay an exact scenario
 //	dstgrid -corpus internal/dst/testdata  # re-run the regression corpus
+//	dstgrid -seeds 200 -kernel heap    # same sweep on the reference timer engine
 //
 // The process exits non-zero if any run violates an invariant. Output is
-// deterministic: the same seeds produce byte-identical reports.
+// deterministic: the same seeds produce byte-identical reports — on
+// either timer engine (-kernel wheel|heap), which is the property the
+// kernel-equivalence suite in internal/vtime locks down byte for byte.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"cogrid/internal/dst"
+	"cogrid/internal/vtime"
 )
 
 func main() {
@@ -34,10 +38,17 @@ func main() {
 		scenario = flag.String("scenario", "", "replay an exact scenario (JSON, or @file)")
 		corpus   = flag.String("corpus", "", "re-run every .json scenario in a directory")
 		smoke    = flag.Bool("smoke", false, "use the small smoke profile")
+		kernel   = flag.String("kernel", "wheel", "kernel timer engine: wheel (production) or heap (reference)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON line per run")
 		shrink   = flag.Bool("shrink", true, "shrink violating scenarios to minimal reproductions")
 	)
 	flag.Parse()
+
+	engine, err := vtime.ParseTimerEngine(*kernel)
+	if err != nil {
+		fatalf("dstgrid: %v", err)
+	}
+	opts := dst.RunOptions{Engine: engine}
 
 	profile := dst.DefaultProfile
 	if *smoke {
@@ -65,7 +76,7 @@ func main() {
 	ran := false
 	if *scenario != "" {
 		ran = true
-		runScenario(*scenario, budget, *jsonOut, &violated)
+		runScenario(*scenario, opts, budget, *jsonOut, &violated)
 	}
 	if *corpus != "" {
 		ran = true
@@ -75,17 +86,17 @@ func main() {
 		}
 		sort.Strings(files)
 		for _, f := range files {
-			runScenario("@"+f, budget, *jsonOut, &violated)
+			runScenario("@"+f, opts, budget, *jsonOut, &violated)
 		}
 	}
 	if *seed != 0 {
 		ran = true
-		emit(dst.RunSeed(*seed, profile, dst.RunOptions{}, budget))
+		emit(dst.RunSeed(*seed, profile, opts, budget))
 	}
 	if *seeds > 0 {
 		ran = true
 		for s := int64(1); s <= int64(*seeds); s++ {
-			emit(dst.RunSeed(s, profile, dst.RunOptions{}, budget))
+			emit(dst.RunSeed(s, profile, opts, budget))
 		}
 	}
 	if *fedSeeds > 0 {
@@ -93,7 +104,7 @@ func main() {
 		fp := profile
 		fp.BrokerProb, fp.FedProb = 1, 1
 		for s := int64(1); s <= int64(*fedSeeds); s++ {
-			emit(dst.RunSeed(s, fp, dst.RunOptions{}, budget))
+			emit(dst.RunSeed(s, fp, opts, budget))
 		}
 	}
 	if !ran {
@@ -109,7 +120,7 @@ func main() {
 }
 
 // runScenario replays one explicit scenario (inline JSON or @file).
-func runScenario(src string, budget int, jsonOut bool, violated *bool) {
+func runScenario(src string, opts dst.RunOptions, budget int, jsonOut bool, violated *bool) {
 	data := []byte(src)
 	name := "scenario"
 	if strings.HasPrefix(src, "@") {
@@ -123,13 +134,13 @@ func runScenario(src string, budget int, jsonOut bool, violated *bool) {
 	if err != nil {
 		fatalf("dstgrid: %v", err)
 	}
-	res, err := dst.Run(sc, dst.RunOptions{})
+	res, err := dst.Run(sc, opts)
 	if err != nil {
 		fatalf("dstgrid: %v", err)
 	}
 	rep := dst.SeedReport{Seed: sc.Seed, Result: res}
 	if len(res.Violations) > 0 && budget != 0 {
-		sr := dst.Shrink(sc, dst.RunOptions{}, budget)
+		sr := dst.Shrink(sc, opts, budget)
 		rep.Shrunk = &sr
 	}
 	if jsonOut {

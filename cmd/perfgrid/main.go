@@ -6,8 +6,9 @@
 // Usage:
 //
 //	perfgrid [-out BENCH_grid.json] [-bench regexp] [-benchtime 1s]
-//	         [-seed N] [-smoke] [-compare BENCH_grid.json] [-threshold 0.2]
-//	         [-strict] [-prom file] [-cpuprofile file] [-memprofile file]
+//	         [-seed N] [-smoke] [-scale] [-compare BENCH_grid.json]
+//	         [-threshold 0.2] [-strict] [-prom file] [-cpuprofile file]
+//	         [-memprofile file]
 //
 // Modes compose: a single invocation can measure, write a fresh snapshot,
 // and compare it against a committed baseline.
@@ -49,6 +50,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the run")
 	scenarioOnly := flag.Bool("scenario-only", false, "skip wall-clock benchmarks, run only the deterministic scenario")
+	scale := flag.Bool("scale", false, "also run the full-size B4 scale study (10⁶ jobs / 10⁴ machines, minutes of wall clock) and record it as the scale.b4.full series")
 	flag.Parse()
 	// Register the testing flags only after parsing perfgrid's own, so
 	// -h stays readable and test.* flags cannot be set from the command
@@ -88,6 +90,9 @@ func main() {
 	snap, err := perf.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *scale {
+		snap.Series = append(snap.Series, perf.ScaleSeries(*seed)...)
 	}
 	snap.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	fmt.Fprintf(os.Stderr, "perfgrid: %d series measured in %v\n", len(snap.Series), time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,45 @@
+package dst
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// NamedScenario pairs a regression scenario with its corpus file name.
+type NamedScenario struct {
+	Name     string
+	Scenario Scenario
+}
+
+// RegressionScenarios loads the shrunk regression corpus from this
+// package's testdata directory, resolved relative to this source file so
+// suites in other packages (the kernel-equivalence tests live next to the
+// engine they lock down, in internal/vtime) can replay the exact
+// interleavings that once broke the system. Results are sorted by name.
+func RegressionScenarios() ([]NamedScenario, error) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return nil, fmt.Errorf("dst: cannot locate package source directory")
+	}
+	files, err := filepath.Glob(filepath.Join(filepath.Dir(self), "testdata", "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	out := make([]NamedScenario, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return nil, fmt.Errorf("dst: corpus %s: %w", filepath.Base(f), err)
+		}
+		out = append(out, NamedScenario{Name: filepath.Base(f), Scenario: sc})
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package dst
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,7 +29,30 @@ type RunOptions struct {
 	// Bugs is forwarded to the controller: the harness's self-test
 	// injects a broken 2PC here and asserts the invariants catch it.
 	Bugs core.Bugs
+	// Engine selects the kernel's timer queue for the run's simulation.
+	// The zero value is the production wheel; the kernel-equivalence
+	// suite runs every scenario on both engines and diffs the artifacts.
+	Engine vtime.TimerEngine
+	// Artifacts, when non-nil, is filled with the run's observable byte
+	// outputs after quiescence — the streams equivalence runs compare.
+	Artifacts *Artifacts
 }
+
+// Artifacts captures one run's deterministic byte outputs: the sorted
+// trace event log, every gauge resampled on a fixed cadence, and the full
+// Prometheus exposition (counters + histograms + gauges). Two runs of the
+// same scenario must produce these byte-for-byte identically, whatever
+// timer engine, goroutine schedule, or wall-clock conditions they ran
+// under.
+type Artifacts struct {
+	TraceJSONL []byte
+	GaugeCSV   []byte
+	Metrics    []byte
+}
+
+// artifactGaugeStep is the fixed resampling cadence for the gauge CSV
+// artifact.
+const artifactGaugeStep = 15 * time.Second
 
 // RunResult is one scenario execution plus its invariant verdict.
 type RunResult struct {
@@ -148,7 +172,7 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 	}
 	res := RunResult{Scenario: sc, Jobs: len(sc.Jobs)}
 
-	g := grid.New(grid.Options{Seed: sc.Seed, Trace: true})
+	g := grid.New(grid.Options{Seed: sc.Seed, Trace: true, TimerEngine: opts.Engine})
 	for _, ms := range sc.Machines {
 		mode := lrm.Fork
 		if ms.Batch {
@@ -396,7 +420,32 @@ func Run(sc Scenario, opts RunOptions) (RunResult, error) {
 		// checks and never feeds back into them.
 		g.Flight.Trigger("invariant", res.Violations[0].Invariant)
 	}
+	if opts.Artifacts != nil {
+		if err := captureArtifacts(g, opts.Artifacts); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
+}
+
+// captureArtifacts renders the run's deterministic byte outputs.
+func captureArtifacts(g *grid.Grid, a *Artifacts) error {
+	var buf bytes.Buffer
+	if err := g.Tracer.WriteJSONL(&buf); err != nil {
+		return fmt.Errorf("dst: trace artifact: %w", err)
+	}
+	a.TraceJSONL = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := g.Gauges.Series(artifactGaugeStep, g.Sim.Now()).WriteCSV(&buf); err != nil {
+		return fmt.Errorf("dst: gauge artifact: %w", err)
+	}
+	a.GaugeCSV = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := g.WriteMetrics(&buf); err != nil {
+		return fmt.Errorf("dst: metrics artifact: %w", err)
+	}
+	a.Metrics = append([]byte(nil), buf.Bytes()...)
+	return nil
 }
 
 // sloRules is the standard DST objective set. Every rule is tied to a

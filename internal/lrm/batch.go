@@ -17,8 +17,13 @@ func limitOf(j *Job) time.Duration {
 }
 
 // availableLocked returns processors available to the batch queue now:
-// free processors minus active reservation carve-outs.
+// free processors minus active reservation carve-outs. Machines with no
+// reservations — the common case for pure batch load — skip the carve-out
+// walk and the clock read entirely.
 func (m *Machine) availableLocked() int {
+	if len(m.reservations) == 0 {
+		return m.freeProcs
+	}
 	avail := m.freeProcs - m.reservedAtLocked(m.sim.Now())
 	if avail < 0 {
 		avail = 0
@@ -44,13 +49,20 @@ func (m *Machine) schedule() {
 		m.runningAdd(job)
 		toLaunch = append(toLaunch, job)
 	}
-	// Backfill behind a blocked head.
+	// Backfill behind a blocked head. The scan is bounded: past
+	// m.backfill candidates the pass gives up and leaves the tail queued,
+	// keeping each pass O(depth) instead of O(queue) — across a draining
+	// backlog that is the difference between linear and quadratic work.
 	if len(m.queue) > 1 {
 		now := m.sim.Now()
 		shadow := m.shadowTimeLocked(m.queue[0])
 		avail := m.availableLocked()
 		kept := m.queue[:1]
-		for _, job := range m.queue[1:] {
+		for i, job := range m.queue[1:] {
+			if m.backfill >= 0 && i >= m.backfill {
+				kept = append(kept, m.queue[1+i:]...)
+				break
+			}
 			if job.spec.Count <= avail && now+limitOf(job) <= shadow {
 				avail -= job.spec.Count
 				m.freeProcs -= job.spec.Count
@@ -69,39 +81,38 @@ func (m *Machine) schedule() {
 }
 
 // runningAdd records a batch job's expected end for shadow-time
-// computation. Caller holds m.mu.
+// computation, both in the ground-truth map and the incremental release
+// index. Caller holds m.mu.
 func (m *Machine) runningAdd(job *Job) {
 	if m.running == nil {
 		m.running = make(map[*Job]time.Duration)
 	}
-	m.running[job] = m.sim.Now() + limitOf(job)
+	end := m.sim.Now() + limitOf(job)
+	m.running[job] = end
+	m.releases.note(job, end)
 }
 
 // shadowTimeLocked computes the earliest time the given head job could
-// start, assuming running jobs end at their wall-time limits. Caller holds
-// m.mu.
+// start, assuming running jobs end at their wall-time limits. The release
+// index yields expected ends in ascending order, so the walk stops as soon
+// as enough capacity accumulates — no per-pass sort of the running set.
+// Caller holds m.mu.
 func (m *Machine) shadowTimeLocked(head *Job) time.Duration {
 	avail := m.availableLocked()
 	if head.spec.Count <= avail {
 		return m.sim.Now()
 	}
-	type rel struct {
-		at    time.Duration
-		procs int
-	}
-	rels := make([]rel, 0, len(m.running))
-	for job, end := range m.running {
-		rels = append(rels, rel{at: end, procs: job.spec.Count})
-	}
-	sort.Slice(rels, func(i, j int) bool { return rels[i].at < rels[j].at })
-	for _, r := range rels {
-		avail += r.procs
-		if head.spec.Count <= avail {
-			return r.at
-		}
-	}
 	// Cannot determine (should not happen for admissible jobs): no backfill.
-	return m.sim.Now() + defaultLimit
+	shadow := m.sim.Now() + defaultLimit
+	m.ascendReleasesLocked(func(at time.Duration, procs int) bool {
+		avail += procs
+		if head.spec.Count <= avail {
+			shadow = at
+			return false
+		}
+		return true
+	})
+	return shadow
 }
 
 // QueuedJob summarizes one waiting job for information services.
@@ -168,18 +179,18 @@ func (m *Machine) EstimateWait(count int) time.Duration {
 		return defaultLimit
 	}
 	now := m.sim.Now()
-	type rel struct {
-		at    time.Duration
-		procs int
-	}
-	var rels []rel
-	for job, end := range m.running {
-		at := end
+	// Seed the simulation from the release index (already ascending;
+	// clamping past-due ends to now preserves the order) into a reusable
+	// scratch buffer, so a forecast allocates nothing in steady state.
+	rels := m.estScratch[:0]
+	m.ascendReleasesLocked(func(at time.Duration, procs int) bool {
 		if at < now {
 			at = now
 		}
-		rels = append(rels, rel{at: at, procs: job.spec.Count})
-	}
+		rels = append(rels, relPoint{at: at, procs: procs})
+		return true
+	})
+	m.estScratch = rels
 	avail := m.availableLocked()
 	t := now
 	startOne := func(need int, limit time.Duration) time.Duration {
@@ -197,7 +208,7 @@ func (m *Machine) EstimateWait(count int) time.Duration {
 			return defaultLimit // never fits
 		}
 		avail -= need
-		rels = append(rels, rel{at: t + limit, procs: need})
+		rels = append(rels, relPoint{at: t + limit, procs: need})
 		return t
 	}
 	for _, queued := range m.queue {

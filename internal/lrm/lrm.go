@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"cogrid/internal/metrics"
 	"cogrid/internal/transport"
 	"cogrid/internal/vtime"
 )
@@ -115,6 +116,16 @@ type Machine struct {
 	processors int
 	mode       Mode
 	costs      Costs
+	retire     bool
+	backfill   int
+
+	// Metric handles are resolved once, on the first launch, and cached:
+	// the registry lookup and the per-machine gauge-name concatenation used
+	// to run once per job, which is measurable garbage at 10⁶ jobs.
+	metricsOnce sync.Once
+	queueWait   *metrics.Histogram
+	service     *metrics.Histogram
+	busy        *metrics.Gauge
 
 	mu         sync.Mutex
 	execs      map[string]ExecFunc
@@ -123,17 +134,37 @@ type Machine struct {
 	freeProcs  int
 	queue      []*Job                 // batch: pending jobs, FCFS order
 	running    map[*Job]time.Duration // batch: active job -> expected end
+	releases   releaseIndex           // batch: running releases, ascending
+	relScratch []releaseEntry
+	estScratch []relPoint
 	slowFactor float64
 	down       bool
+	doneJobs   int64
+	failedJobs int64
 
 	reservations map[string]*Reservation
 	nextResID    int
 }
 
+// defaultBackfillDepth bounds how many queued jobs one scheduling pass
+// considers for backfill behind a blocked head. An unbounded scan is
+// O(queue²) across a draining backlog, which a 10⁵-job queue cannot
+// afford; candidates past the window simply wait for a later pass.
+const defaultBackfillDepth = 256
+
 // Config carries optional machine settings.
 type Config struct {
 	Mode  Mode
 	Costs Costs // zero value replaced by DefaultCosts
+	// RetireTerminal drops jobs from the machine's job table once they
+	// reach a terminal state, so a long simulation's memory stays
+	// proportional to live work rather than total history. Job() lookups
+	// for retired jobs return ErrNoSuchJob; Stats() keeps the counts.
+	RetireTerminal bool
+	// BackfillDepth overrides how many queued jobs behind a blocked head
+	// each scheduling pass considers for backfill. Zero means
+	// defaultBackfillDepth; negative means unbounded.
+	BackfillDepth int
 }
 
 // NewMachine creates a machine with the given processor count on host.
@@ -142,6 +173,10 @@ func NewMachine(host *transport.Host, processors int, cfg Config) *Machine {
 	if costs == (Costs{}) {
 		costs = DefaultCosts
 	}
+	backfill := cfg.BackfillDepth
+	if backfill == 0 {
+		backfill = defaultBackfillDepth
+	}
 	return &Machine{
 		sim:          host.Network().Sim(),
 		host:         host,
@@ -149,12 +184,39 @@ func NewMachine(host *transport.Host, processors int, cfg Config) *Machine {
 		processors:   processors,
 		mode:         cfg.Mode,
 		costs:        costs,
+		retire:       cfg.RetireTerminal,
+		backfill:     backfill,
 		execs:        make(map[string]ExecFunc),
 		jobs:         make(map[string]*Job),
 		freeProcs:    processors,
 		slowFactor:   1,
 		reservations: make(map[string]*Reservation),
 	}
+}
+
+// metricHandles resolves the machine's metric handles on first use. Both
+// registries are nil-safe, so the cached handles may legitimately be nil.
+func (m *Machine) metricHandles() {
+	m.metricsOnce.Do(func() {
+		net := m.host.Network()
+		m.queueWait = net.Hists().H("lrm.queue.wait")
+		m.service = net.Hists().H("lrm.job.service")
+		m.busy = net.Gauges().G("lrm.busy@" + m.host.Name())
+	})
+}
+
+// Stats is a machine's cumulative job accounting.
+type Stats struct {
+	Done   int64 // jobs that reached StateDone
+	Failed int64 // jobs that reached StateFailed or StateCancelled
+}
+
+// Stats returns cumulative terminal-job counts. Unlike the jobs table,
+// these survive RetireTerminal.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Done: m.doneJobs, Failed: m.failedJobs}
 }
 
 // Name returns the machine (host) name.
@@ -466,16 +528,20 @@ func (m *Machine) launch(job *Job) {
 	job.startAt = m.sim.Now()
 	queuedAt := job.queuedAt
 	job.mu.Unlock()
+	m.metricHandles()
 	// Queue service wait: accept-to-launch latency. In fork mode this is
 	// the fork cost; in batch mode it includes FCFS/backfill queueing.
-	m.host.Network().Hists().H("lrm.queue.wait").Record(int64(m.sim.Now() - queuedAt))
+	m.queueWait.Record(int64(m.sim.Now() - queuedAt))
 	// Per-machine utilization gauge: processors busy running application
 	// processes. Decremented symmetrically when finishJob releases them.
-	m.host.Network().Gauges().G("lrm.busy@" + m.host.Name()).Add(float64(job.spec.Count))
+	m.busy.Add(float64(job.spec.Count))
 	job.setState(StateActive, "")
 
 	if job.spec.TimeLimit > 0 {
-		m.sim.AfterFunc(job.spec.TimeLimit, func() {
+		// finishJob never blocks on kernel primitives, so wall-limit
+		// enforcement rides the passive dispatch pool instead of paying a
+		// goroutine per running job.
+		m.sim.AfterFuncPassive(job.spec.TimeLimit, func() {
 			m.finishJob(job, StateFailed, "wall-time limit exceeded")
 		})
 	}
@@ -544,8 +610,9 @@ func (m *Machine) finishJob(job *Job, state JobState, reason string) {
 	job.mu.Unlock()
 
 	if release {
+		m.metricHandles()
 		// Launch-to-terminal service time of jobs that actually ran.
-		m.host.Network().Hists().H("lrm.job.service").Record(int64(m.sim.Now() - startAt))
+		m.service.Record(int64(m.sim.Now() - startAt))
 	}
 
 	if wasPending {
@@ -560,11 +627,23 @@ func (m *Machine) finishJob(job *Job, state JobState, reason string) {
 	}
 	job.setState(state, reason)
 	if release {
-		m.host.Network().Gauges().G("lrm.busy@" + m.host.Name()).Add(-float64(job.spec.Count))
+		m.busy.Add(-float64(job.spec.Count))
 	}
+	m.mu.Lock()
+	if state == StateDone {
+		m.doneJobs++
+	} else {
+		m.failedJobs++
+	}
+	if m.retire {
+		delete(m.jobs, job.id)
+	}
+	m.mu.Unlock()
 	if release && m.mode == Batch && job.startRes == nil {
 		m.mu.Lock()
 		m.freeProcs += job.spec.Count
+		// The release index entry goes stale here and is dropped lazily
+		// the next time it surfaces during an ascent.
 		delete(m.running, job)
 		m.mu.Unlock()
 		m.schedule()

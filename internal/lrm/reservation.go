@@ -161,7 +161,7 @@ func (m *Machine) startReserved(job *Job, res *Reservation) {
 		return
 	}
 	m.launch(job)
-	m.sim.AfterFunc(res.End-m.sim.Now(), func() {
+	m.sim.AfterFuncPassive(res.End-m.sim.Now(), func() {
 		m.finishJob(job, StateFailed, "reservation window ended")
 	})
 	job.done.Wait()

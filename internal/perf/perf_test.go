@@ -119,6 +119,30 @@ func TestFedScenarioSeries(t *testing.T) {
 	}
 }
 
+// TestScaleScenarioSeries checks the scale scenario earns its series: the
+// kernel slice must drain every job failure-free, with real timer and
+// queueing volume behind the reported values.
+func TestScaleScenarioSeries(t *testing.T) {
+	series := RunScaleScenario(1)
+	if len(series) != 1 || series[0].Name != "scenario.scale.kernel" {
+		t.Fatalf("RunScaleScenario returned %+v, want one scenario.scale.kernel series", series)
+	}
+	s := series[0]
+	if s.Kind != "scenario" {
+		t.Fatalf("series kind %q, want scenario", s.Kind)
+	}
+	v := s.Values
+	if v["done"] != float64(s.N) || v["failed"] != 0 {
+		t.Fatalf("scale slice lost jobs: done=%v failed=%v of %d", v["done"], v["failed"], s.N)
+	}
+	if v["timers_fired"] <= v["done"] {
+		t.Fatalf("timers_fired=%v implausibly low for %v jobs", v["timers_fired"], v["done"])
+	}
+	if v["virtual_end_ms"] <= 0 || v["p99_wait_ms"] < v["mean_wait_ms"] {
+		t.Fatalf("implausible drain/wait values: %+v", v)
+	}
+}
+
 func TestSuiteShape(t *testing.T) {
 	suite := Suite()
 	if len(suite) < 8 {

@@ -8,6 +8,7 @@ import (
 	"cogrid/internal/grid"
 	"cogrid/internal/rpc"
 	"cogrid/internal/transport"
+	"cogrid/internal/vtime"
 )
 
 // scenarioConfig is the fixed broker-load setting the scenario series
@@ -211,6 +212,82 @@ func RunWireScenario(seed int64) []Series {
 		})
 	}
 	return series
+}
+
+// scaleScenarioConfig is the fixed sub-second slice of the B4 scale study
+// the "scenario.scale" series measure: a Poisson batch-job stream over a
+// small fleet, raw on the kernel, deep enough that the timing wheel,
+// passive dispatch pool, and release index all carry real load.
+func scaleScenarioConfig(seed int64) experiments.ScaleConfig {
+	return experiments.ScaleConfig{
+		Jobs:             2000,
+		Machines:         50,
+		MachineSize:      16,
+		MeanInterarrival: time.Second,
+		Seed:             seed,
+	}
+}
+
+// RunScaleScenario executes the deterministic scale slice on the
+// production timing wheel and distills it into one "scenario.scale.kernel"
+// series: job accounting, timer dispatch volume, drain time, and queue-wait
+// quantiles. Every value is a virtual-time quantity, byte-stable run to
+// run; the wall-clock side of B4 lives in benchgrid -app scale.
+func RunScaleScenario(seed int64) []Series {
+	if seed == 0 {
+		seed = 1
+	}
+	row := experiments.ScaleRun(scaleScenarioConfig(seed), vtime.EngineWheel)
+	return []Series{{
+		Name: "scenario.scale.kernel",
+		Kind: "scenario",
+		N:    row.Jobs,
+		Values: map[string]float64{
+			"done":            float64(row.Done),
+			"failed":          float64(row.Failed),
+			"timers_fired":    float64(row.TimersFired),
+			"virtual_end_ms":  float64(row.VirtualEnd) / float64(time.Millisecond),
+			"mean_wait_ms":    float64(row.MeanWait) / float64(time.Millisecond),
+			"p99_wait_ms":     float64(row.P99Wait) / float64(time.Millisecond),
+			"machines":        float64(row.Machines),
+			"jobs_per_virt_s": float64(row.Jobs) / row.VirtualEnd.Seconds(),
+		},
+	}}
+}
+
+// ScaleSeries runs the FULL-SIZE B4 scale study — 10⁶ jobs over 10⁴
+// machines on the production timing wheel, minutes of wall clock — and
+// returns it as one "scale.b4.full" series: virtual-time accounting in
+// Values, wall-clock ns/job and jobs/sec in the NsPerOp/OpsPerSec fields.
+// Unlike the scenario series this is deliberately NOT part of Run: it is
+// appended only when perfgrid is invoked with -scale, so the committed
+// BENCH_grid.json documents the kernel's scale envelope without every
+// snapshot or test paying for it. Kind "scale" keeps it out of the bench
+// regression compare (wall-clock at this length is machine-dependent).
+func ScaleSeries(seed int64) []Series {
+	if seed == 0 {
+		seed = 1
+	}
+	row := experiments.ScaleRun(experiments.ScaleConfig{Seed: seed}, vtime.EngineWheel)
+	return []Series{{
+		Name:      "scale.b4.full",
+		Kind:      "scale",
+		N:         row.Jobs,
+		NsPerOp:   row.NsPerJob,
+		OpsPerSec: row.JobsPerSec,
+		Values: map[string]float64{
+			"jobs":           float64(row.Jobs),
+			"machines":       float64(row.Machines),
+			"machine_size":   float64(row.MachineSize),
+			"done":           float64(row.Done),
+			"failed":         float64(row.Failed),
+			"timers_fired":   float64(row.TimersFired),
+			"virtual_end_ms": float64(row.VirtualEnd) / float64(time.Millisecond),
+			"mean_wait_ms":   float64(row.MeanWait) / float64(time.Millisecond),
+			"p99_wait_ms":    float64(row.P99Wait) / float64(time.Millisecond),
+			"wall_ms":        float64(row.Wall) / float64(time.Millisecond),
+		},
+	}}
 }
 
 // fedScenarioConfig is the fixed federated setting the "scenario.fed"

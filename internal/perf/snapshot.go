@@ -160,6 +160,7 @@ func Run(cfg RunConfig) (Snapshot, error) {
 		snap.Series = append(snap.Series, RunWireScenario(cfg.Seed)...)
 		sloScen, _ := RunSLOScenario(cfg.Seed)
 		snap.Series = append(snap.Series, sloScen...)
+		snap.Series = append(snap.Series, RunScaleScenario(cfg.Seed)...)
 	}
 	return snap, nil
 }

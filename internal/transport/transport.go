@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -167,6 +168,7 @@ type Network struct {
 	hosts      map[string]*Host
 	partitions map[[2]string]bool
 	batch      BatchOptions
+	connSeq    uint64 // establishment order, for deterministic failure sweeps
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
@@ -363,6 +365,11 @@ func (h *Host) fail(to hostState) {
 	}
 	h.listeners = make(map[string]*Listener)
 	h.net.mu.Unlock()
+	// Close in establishment order, not map order: every Close wakes the
+	// connection's blocked peers, and the wake sequence must be a function
+	// of the seed, not of map iteration.
+	sort.Slice(conns, func(i, j int) bool { return conns[i].estSeq < conns[j].estSeq })
+	sort.Slice(listeners, func(i, j int) bool { return listeners[i].service < listeners[j].service })
 	for _, c := range conns {
 		c.Close()
 	}
@@ -559,6 +566,7 @@ type outMsg struct {
 // Conn is one end of a reliable, in-order, message-oriented connection.
 type Conn struct {
 	net    *Network
+	estSeq uint64 // establishment order; failure sweeps close in this order
 	local  Addr
 	remote Addr
 	in     *vtime.Chan[[]byte]
@@ -624,8 +632,10 @@ func newConnPair(n *Network, clientAddr, serverAddr Addr, ctx trace.Ctx) (client
 	ctrs := n.Counters()
 	mk := func(local, remote Addr) *Conn {
 		tag := local.String() + "->" + remote.String()
+		n.connSeq++
 		c := &Conn{
 			net:     n,
+			estSeq:  n.connSeq,
 			local:   local,
 			remote:  remote,
 			flow:    flow,

@@ -89,7 +89,7 @@ func (c *Chan[T]) Send(v T) {
 		w.val = v
 		w.state = wsDelivered
 		if w.timer != nil {
-			w.timer.cancelled = true
+			s.cancelTimerLocked(w.timer)
 		}
 		s.wakeLocked(w.wid, w.park)
 		s.mu.Unlock()
@@ -101,7 +101,7 @@ func (c *Chan[T]) Send(v T) {
 		return
 	}
 	sw := &sendWaiter[T]{park: make(chan struct{}, 1), val: v}
-	sw.wid = s.addWaitLocked("send", "on "+c.name)
+	sw.wid = s.addWaitLocked(waitSend, c.name, 0)
 	c.sendq = append(c.sendq, sw)
 	s.blockLocked()
 	s.mu.Unlock()
@@ -124,7 +124,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 		w.val = v
 		w.state = wsDelivered
 		if w.timer != nil {
-			w.timer.cancelled = true
+			s.cancelTimerLocked(w.timer)
 		}
 		s.wakeLocked(w.wid, w.park)
 		return true
@@ -188,7 +188,7 @@ func (c *Chan[T]) recv(d time.Duration) (v T, res RecvResult) {
 		return v, RecvTimedOut
 	}
 	rw := &recvWaiter[T]{park: make(chan struct{}, 1)}
-	rw.wid = s.addWaitLocked("recv", "on "+c.name)
+	rw.wid = s.addWaitLocked(waitRecv, c.name, 0)
 	if d > 0 {
 		rw.timer = s.pushTimerLocked(s.now+d, func() {
 			if rw.state != wsWaiting {
@@ -235,7 +235,7 @@ func (c *Chan[T]) Close() {
 		}
 		w.state = wsClosed
 		if w.timer != nil {
-			w.timer.cancelled = true
+			s.cancelTimerLocked(w.timer)
 		}
 		s.wakeLocked(w.wid, w.park)
 	}

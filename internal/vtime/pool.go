@@ -1,0 +1,110 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxPassiveBatch bounds how many same-instant passive callbacks are handed
+// to the pool at once. Larger instants dispatch in successive batches at
+// the same virtual time, which is observably identical.
+const maxPassiveBatch = 256
+
+// passiveBatch is one dispatch unit: workers claim entries by atomically
+// advancing next; the worker that completes the final entry reports the
+// batch finished. A fresh batch struct is allocated per dispatch (the
+// entries buffer is reused) so that stragglers from a previous generation
+// can never claim against a recycled counter.
+type passiveBatch struct {
+	entries []*timerEntry
+	next    atomic.Int64
+	done    atomic.Int64
+}
+
+// passivePool executes passive timer callbacks on a small fixed set of
+// worker goroutines. Workers are started lazily on the first dispatch and
+// exit when the simulation completes. Callbacks run without the kernel
+// lock. The default is a single worker, which executes each batch
+// sequentially in (when, seq) order — a requirement for deterministic
+// runs, since the batch holds the run token and its callbacks' side
+// effects (wakes, spawns, gauge updates) must happen in seed-determined
+// order. Config.PassiveWorkers > 1 opts into concurrent execution within
+// a batch for multicore throughput, at the cost of byte-determinism
+// unless every passive callback commutes with its same-instant peers.
+type passivePool struct {
+	s       *Sim
+	max     int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cur     *passiveBatch
+	gen     uint64
+	stop    bool
+	started bool
+}
+
+func (p *passivePool) init(s *Sim, workers int) {
+	p.s = s
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	p.max = workers
+	p.cond = sync.NewCond(&p.mu)
+}
+
+// dispatch hands a batch to the pool. Called with s.mu held; the lock order
+// is always s.mu → p.mu, and workers never acquire p.mu while holding s.mu,
+// so there is no cycle.
+func (p *passivePool) dispatch(entries []*timerEntry) {
+	b := &passiveBatch{entries: entries}
+	p.mu.Lock()
+	if !p.started {
+		p.started = true
+		for i := 0; i < p.max; i++ {
+			go p.worker()
+		}
+		// Unpark the workers for exit once the simulation completes, so
+		// finished Sims do not accumulate parked goroutines.
+		go func() {
+			<-p.s.done
+			p.mu.Lock()
+			p.stop = true
+			p.mu.Unlock()
+			p.cond.Broadcast()
+		}()
+	}
+	p.cur = b
+	p.gen++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *passivePool) worker() {
+	var lastGen uint64
+	for {
+		p.mu.Lock()
+		for p.gen == lastGen && !p.stop {
+			p.cond.Wait()
+		}
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		lastGen = p.gen
+		b := p.cur
+		p.mu.Unlock()
+		total := int64(len(b.entries))
+		for {
+			i := b.next.Add(1) - 1
+			if i >= total {
+				break
+			}
+			b.entries[i].fn()
+			if b.done.Add(1) == total {
+				p.s.batchFinished()
+			}
+		}
+	}
+}

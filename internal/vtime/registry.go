@@ -1,0 +1,101 @@
+package vtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The blocked-process registry exists only to make deadlock reports
+// informative, yet under the old design every block/wake paid for it at the
+// center of the kernel: one global map guarded by s.mu and an eager
+// fmt.Sprintf per Sleep. At million-job scale that is real contention and
+// real garbage. The registry is now sharded by wait ID under its own locks
+// (so paths like Sleep can register before touching s.mu at all) and
+// records are plain structs formatted only if a deadlock actually happens.
+
+const waitShardCount = 16
+
+type waitKind uint8
+
+const (
+	waitSleep waitKind = iota
+	waitSend
+	waitRecv
+	waitWaitGroup
+	waitEvent
+)
+
+// waitInfo describes one blocked process, for deadlock reports.
+type waitInfo struct {
+	id       uint64
+	kind     waitKind
+	name     string
+	deadline time.Duration
+	since    time.Duration
+}
+
+func (w *waitInfo) describe() string {
+	switch w.kind {
+	case waitSleep:
+		return fmt.Sprintf("sleep until t=%v (since t=%v)", w.deadline, w.since)
+	case waitSend:
+		return fmt.Sprintf("send on %s (since t=%v)", w.name, w.since)
+	case waitRecv:
+		return fmt.Sprintf("recv on %s (since t=%v)", w.name, w.since)
+	case waitWaitGroup:
+		return fmt.Sprintf("waitgroup wait (since t=%v)", w.since)
+	default:
+		return fmt.Sprintf("event %s (since t=%v)", w.name, w.since)
+	}
+}
+
+type waitShard struct {
+	mu sync.Mutex
+	m  map[uint64]*waitInfo
+	// Pad shards apart so their locks do not share a cache line.
+	_ [40]byte
+}
+
+type waitRegistry struct {
+	nextID atomic.Uint64
+	shards [waitShardCount]waitShard
+}
+
+// add registers a blocked process and returns its wait ID. Safe to call
+// with or without s.mu held (lock order is always s.mu → shard.mu).
+func (r *waitRegistry) add(kind waitKind, name string, deadline, since time.Duration) uint64 {
+	id := r.nextID.Add(1)
+	sh := &r.shards[id%waitShardCount]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]*waitInfo)
+	}
+	sh.m[id] = &waitInfo{id: id, kind: kind, name: name, deadline: deadline, since: since}
+	sh.mu.Unlock()
+	return id
+}
+
+func (r *waitRegistry) drop(id uint64) {
+	sh := &r.shards[id%waitShardCount]
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// snapshot returns every registered record ordered by wait ID.
+func (r *waitRegistry) snapshot() []*waitInfo {
+	var infos []*waitInfo
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, w := range sh.m {
+			infos = append(infos, w)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].id < infos[j].id })
+	return infos
+}

@@ -10,6 +10,20 @@
 // timing exact (no wall-clock jitter) and fast (simulated seconds cost
 // microseconds of real time).
 //
+// Timers are kept in one of two interchangeable engines selected at
+// construction ([Config.Engine]): a hierarchical timer wheel with a
+// calendar-queue overflow level (the default; O(1) amortized push/pop at
+// million-timer scale) and the original binary heap, retained as the
+// reference scheduler for differential testing. Both fire timers in
+// identical (time, insertion) order.
+//
+// Execution is serialized: the kernel grants a run token to one process at
+// a time, in FIFO wake order, so two processes woken at the same virtual
+// instant never race — the same seed replays the same interleaving even
+// under the race detector. Parked goroutines resume only when granted the
+// token, and passive timer batches hold it until their last callback
+// returns.
+//
 // Processes may use plain sync.Mutex for instantaneous critical sections,
 // but must never block on ordinary Go channels or hold a mutex across a
 // kernel blocking call; doing so breaks runnable accounting.
@@ -21,38 +35,109 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Sim is a discrete-event simulation kernel. Create one with New or
-// NewSeeded; a zero Sim is not usable.
+// TimerEngine selects the data structure behind the kernel's timer queue.
+type TimerEngine uint8
+
+const (
+	// EngineWheel is the default: a hierarchical timing wheel with a
+	// calendar-queue overflow level. O(1) amortized push/pop.
+	EngineWheel TimerEngine = iota
+	// EngineHeap is the original container/heap scheduler, retained as the
+	// reference implementation for differential kernel-equivalence tests.
+	EngineHeap
+)
+
+func (e TimerEngine) String() string {
+	switch e {
+	case EngineWheel:
+		return "wheel"
+	case EngineHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("TimerEngine(%d)", uint8(e))
+}
+
+// ParseTimerEngine converts an engine name ("wheel" or "heap") to its
+// TimerEngine value.
+func ParseTimerEngine(name string) (TimerEngine, error) {
+	switch name {
+	case "wheel", "":
+		return EngineWheel, nil
+	case "heap":
+		return EngineHeap, nil
+	}
+	return EngineWheel, fmt.Errorf("vtime: unknown timer engine %q", name)
+}
+
+// Config parameterizes kernel construction.
+type Config struct {
+	// Seed seeds the kernel's random source (0 means seed 1).
+	Seed int64
+	// Engine selects the timer queue implementation (default EngineWheel).
+	Engine TimerEngine
+	// PassiveWorkers bounds the worker pool that executes passive timer
+	// callbacks (see AfterFuncPassive). 0 means 1: batches execute
+	// sequentially in (when, seq) order, which preserves byte-for-byte run
+	// determinism. Values > 1 run same-instant callbacks concurrently —
+	// a multicore throughput option that forfeits determinism unless the
+	// callbacks commute.
+	PassiveWorkers int
+}
+
+// Sim is a discrete-event simulation kernel. Create one with New, NewSeeded
+// or NewWithConfig; a zero Sim is not usable.
 type Sim struct {
 	mu        sync.Mutex
 	now       time.Duration
 	seq       uint64 // tiebreaker for timers scheduled at the same instant
-	runnable  int    // processes currently executing (not blocked in the kernel)
+	runnable  int    // processes ready to run: the token holder, the run queue, an in-flight passive batch
 	alive     int    // non-daemon processes that have not exited
 	started   bool   // at least one non-daemon process was spawned
 	completed bool   // all non-daemon processes exited, or deadlock detected
-	timers    timerHeap
-	waiting   map[uint64]*waitInfo
-	nextWait  uint64
-	done      chan struct{}
-	deadlock  *DeadlockError
+
+	// Deterministic cooperative scheduling: at most one simulated process
+	// executes at a time, selected in FIFO wake order. running marks the
+	// run token as held; runq holds the grant channels of processes that
+	// are ready but waiting their turn (runqHead is the pop index, reset
+	// when the queue drains). Without this serialization two processes
+	// woken at the same virtual instant race, and the winner — hence the
+	// entire downstream run — is decided by the Go scheduler instead of
+	// the seed.
+	running  bool
+	runq     []chan struct{}
+	runqHead int
+
+	timers     timerQueue
+	liveTimers int // pending timers that are neither cancelled nor fired
+	engine     TimerEngine
+
+	waits    waitRegistry
+	done     chan struct{}
+	deadlock *DeadlockError
+
+	// nowA mirrors now so that Now() never takes the kernel lock: the
+	// clock is frozen whenever the reader is runnable, so a relaxed
+	// atomic read is exact for simulated processes.
+	nowA atomic.Int64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	stats       KernelStats
-	timersFired int64
+	timersFired atomic.Int64
 	batchWhen   time.Duration // virtual instant of the open dispatch batch
 	batchCount  int64         // timers dispatched at batchWhen so far
+
+	pool       passivePool
+	passiveBuf []*timerEntry // reusable batch buffer (one batch in flight at a time)
 }
 
 // Recorder consumes one non-negative int64 sample. It is the kernel's view
@@ -94,19 +179,10 @@ func (s *Sim) SetStats(ks KernelStats) {
 
 // TimersFired returns the total number of timer callbacks dispatched so
 // far — the kernel's event throughput counter.
-func (s *Sim) TimersFired() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.timersFired
-}
+func (s *Sim) TimersFired() int64 { return s.timersFired.Load() }
 
-// waitInfo describes one blocked process, for deadlock reports.
-type waitInfo struct {
-	id     uint64
-	kind   string
-	detail string
-	since  time.Duration
-}
+// Engine returns the timer engine this kernel was constructed with.
+func (s *Sim) Engine() TimerEngine { return s.engine }
 
 // DeadlockError reports that every live process was blocked with no pending
 // timers. Blocked lists a human-readable description of each blocked
@@ -125,20 +201,39 @@ func (e *DeadlockError) Error() string {
 func New() *Sim { return NewSeeded(1) }
 
 // NewSeeded returns a kernel whose random source is seeded with seed.
-func NewSeeded(seed int64) *Sim {
-	return &Sim{
-		waiting: make(map[uint64]*waitInfo),
-		done:    make(chan struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
+func NewSeeded(seed int64) *Sim { return NewWithConfig(Config{Seed: seed}) }
+
+// NewWithConfig returns a kernel built per cfg.
+func NewWithConfig(cfg Config) *Sim {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
 	}
+	s := &Sim{
+		done:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		engine: cfg.Engine,
+	}
+	switch cfg.Engine {
+	case EngineHeap:
+		s.timers = newHeapQueue()
+	default:
+		s.timers = newTimerWheel()
+	}
+	s.pool.init(s, cfg.PassiveWorkers)
+	return s
 }
 
 // Now returns the current virtual time, measured from the start of the
-// simulation.
-func (s *Sim) Now() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+// simulation. It is lock-free: for a simulated process the clock cannot
+// move while the caller is runnable, so the value is exact.
+func (s *Sim) Now() time.Duration { return time.Duration(s.nowA.Load()) }
+
+// setNowLocked advances the clock and its lock-free mirror. Must be called
+// with s.mu held.
+func (s *Sim) setNowLocked(t time.Duration) {
+	s.now = t
+	s.nowA.Store(int64(t))
 }
 
 // Go spawns fn as a simulated process. The simulation is complete when all
@@ -162,8 +257,11 @@ func (s *Sim) spawn(name string, fn func(), daemon bool) {
 		s.alive++
 		s.started = true
 	}
+	start := make(chan struct{}, 1)
+	s.readyLocked(start)
 	s.mu.Unlock()
 	go func() {
+		<-start
 		defer s.procExit(daemon)
 		fn()
 	}()
@@ -173,6 +271,7 @@ func (s *Sim) procExit(daemon bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.runnable--
+	s.yieldLocked()
 	if !daemon {
 		s.alive--
 		if s.alive == 0 && !s.completed {
@@ -217,17 +316,28 @@ func (s *Sim) Run(name string, fn func()) error {
 // Sleep suspends the calling process for d of virtual time. A non-positive
 // d returns immediately.
 func (s *Sim) Sleep(d time.Duration) {
+	// The wait registration happens before the kernel lock: the caller is
+	// runnable, so the clock is frozen and the lock-free Now() is exact.
+	// This keeps registry writes (a sharded map) off the kernel hot path.
+	var wid uint64
+	var park chan struct{}
+	if d > 0 {
+		now := s.Now()
+		wid = s.waits.add(waitSleep, "", now+d, now)
+		park = make(chan struct{}, 1)
+	}
 	s.mu.Lock()
 	if s.completed {
 		s.mu.Unlock()
+		if d > 0 {
+			s.waits.drop(wid)
+		}
 		parkForever()
 	}
 	if d <= 0 {
 		s.mu.Unlock()
 		return
 	}
-	park := make(chan struct{}, 1)
-	wid := s.addWaitLocked("sleep", fmt.Sprintf("until t=%v", s.now+d))
 	s.pushTimerLocked(s.now+d, func() {
 		s.wakeLocked(wid, park)
 	})
@@ -239,13 +349,11 @@ func (s *Sim) Sleep(d time.Duration) {
 // SleepUntil suspends the calling process until virtual time t. If t is not
 // in the future it returns immediately.
 func (s *Sim) SleepUntil(t time.Duration) {
-	s.mu.Lock()
-	d := t - s.now
-	s.mu.Unlock()
-	s.Sleep(d)
+	s.Sleep(t - s.Now())
 }
 
-// Timer is a handle to a callback scheduled with AfterFunc.
+// Timer is a handle to a callback scheduled with AfterFunc or
+// AfterFuncPassive.
 type Timer struct {
 	s *Sim
 	t *timerEntry
@@ -256,26 +364,57 @@ type Timer struct {
 func (t *Timer) Stop() bool {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	if t.t.cancelled || t.t.fired {
-		return false
-	}
-	t.t.cancelled = true
-	return true
+	return t.s.cancelTimerLocked(t.t)
+}
+
+// Reset reschedules the timer to fire after d from the current virtual
+// instant, whether or not it has already fired or been stopped. It reports
+// whether the timer was still pending (and was therefore cancelled) at the
+// time of the call, with the same meaning as Stop's return value.
+func (t *Timer) Reset(d time.Duration) bool {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	was := s.cancelTimerLocked(t.t)
+	entry := s.pushTimerLocked(s.now+d, t.t.fn)
+	entry.passive = t.t.passive
+	t.t = entry
+	return was
 }
 
 // AfterFunc schedules fn to run as a new daemon process after d of virtual
-// time. fn may use all kernel primitives.
+// time. fn may use all kernel primitives, including blocking ones.
 func (s *Sim) AfterFunc(d time.Duration, fn func()) *Timer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entry := s.pushTimerLocked(s.now+d, func() {
 		// Runs under s.mu from advanceLocked: spawn without re-locking.
 		s.runnable++
+		start := make(chan struct{}, 1)
+		s.readyLocked(start)
 		go func() {
+			<-start
 			defer s.procExit(true)
 			fn()
 		}()
 	})
+	return &Timer{s: s, t: entry}
+}
+
+// AfterFuncPassive schedules fn to run after d of virtual time on the
+// kernel's bounded passive-dispatch worker pool instead of a dedicated
+// goroutine. Same-instant passive callbacks are batched onto the pool,
+// which makes passive timers dramatically cheaper at scale.
+//
+// fn MUST NOT block on kernel primitives (Sleep, Chan Send/Recv, WaitGroup
+// or Event waits): a blocked passive callback corrupts runnable accounting.
+// Non-blocking kernel calls (TrySend, TryRecv, Set, Go, GoDaemon,
+// AfterFunc) are allowed. Use AfterFunc for callbacks that may block.
+func (s *Sim) AfterFuncPassive(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry := s.pushTimerLocked(s.now+d, fn)
+	entry.passive = true
 	return &Timer{s: s, t: entry}
 }
 
@@ -317,24 +456,81 @@ func (s *Sim) RandExp() float64 {
 // channel.
 func (s *Sim) blockLocked() {
 	s.runnable--
+	s.yieldLocked()
 	if s.runnable == 0 && !s.completed {
 		s.advanceLocked()
 	}
 }
 
-// wakeLocked makes one blocked process runnable and signals its parker.
-// Must be called with s.mu held.
-func (s *Sim) wakeLocked(wid uint64, park chan struct{}) {
-	delete(s.waiting, wid)
-	s.runnable++
-	park <- struct{}{}
+// readyLocked makes a process runnable: its grant channel is signalled
+// immediately if the run token is free, otherwise queued FIFO behind the
+// current holder. The grant channel is the process's park channel — a
+// parked process resumes only when it is actually its turn, which is what
+// makes wake order (and therefore the whole run) deterministic. Must be
+// called with s.mu held.
+func (s *Sim) readyLocked(grant chan struct{}) {
+	if s.running {
+		s.runq = append(s.runq, grant)
+		return
+	}
+	s.running = true
+	grant <- struct{}{}
 }
 
-func (s *Sim) addWaitLocked(kind, detail string) uint64 {
-	s.nextWait++
-	id := s.nextWait
-	s.waiting[id] = &waitInfo{id: id, kind: kind, detail: detail, since: s.now}
-	return id
+// yieldLocked releases the run token and hands it to the next queued
+// process, if any. Must be called with s.mu held by the current holder
+// (or on its behalf, for passive batches).
+func (s *Sim) yieldLocked() {
+	if s.runqHead < len(s.runq) {
+		next := s.runq[s.runqHead]
+		s.runq[s.runqHead] = nil
+		s.runqHead++
+		if s.runqHead == len(s.runq) {
+			s.runq = s.runq[:0]
+			s.runqHead = 0
+		}
+		next <- struct{}{}
+		return
+	}
+	s.running = false
+}
+
+// wakeLocked makes one blocked process runnable and queues its parker for
+// the run token. Must be called with s.mu held.
+func (s *Sim) wakeLocked(wid uint64, park chan struct{}) {
+	s.waits.drop(wid)
+	s.runnable++
+	s.readyLocked(park)
+}
+
+// addWaitLocked registers a blocked-process record for deadlock reports.
+// Must be called with s.mu held (callers that can register before locking,
+// like Sleep, use s.waits.add directly).
+func (s *Sim) addWaitLocked(kind waitKind, name string, deadline time.Duration) uint64 {
+	return s.waits.add(kind, name, deadline, s.now)
+}
+
+// pushTimerLocked schedules fn at virtual time when. Must be called with
+// s.mu held.
+func (s *Sim) pushTimerLocked(when time.Duration, fn func()) *timerEntry {
+	s.seq++
+	entry := &timerEntry{when: when, born: s.now, seq: s.seq, fn: fn}
+	s.timers.push(entry)
+	s.liveTimers++
+	return entry
+}
+
+// cancelTimerLocked marks entry cancelled, keeping the live-timer count
+// exact for deadlock detection. The entry itself is discarded lazily when
+// the queue pops it. Reports whether the entry was still pending. Must be
+// called with s.mu held.
+func (s *Sim) cancelTimerLocked(entry *timerEntry) bool {
+	if entry.cancelled || entry.fired {
+		return false
+	}
+	entry.cancelled = true
+	s.liveTimers--
+	return true
 }
 
 // advanceLocked advances virtual time while no process is runnable, firing
@@ -348,18 +544,20 @@ func (s *Sim) advanceLocked() {
 		return
 	}
 	for s.runnable == 0 && !s.completed {
-		for len(s.timers) > 0 && s.timers[0].cancelled {
-			heap.Pop(&s.timers)
-		}
-		if len(s.timers) == 0 {
+		if s.liveTimers == 0 {
 			s.reportDeadlockLocked()
 			return
 		}
-		entry := heap.Pop(&s.timers).(*timerEntry)
-		if entry.when > s.now {
-			s.now = entry.when
+		entry := s.timers.pop()
+		if entry == nil {
+			panic("vtime: timer queue empty with live timers pending")
 		}
-		entry.fired = true
+		if entry.cancelled {
+			continue
+		}
+		if entry.when > s.now {
+			s.setNowLocked(entry.when)
+		}
 		// Dispatch batches are keyed by the clock value at fire time: a
 		// woken process that blocks again at the same instant continues
 		// the open batch, keeping the statistic independent of where the
@@ -368,13 +566,79 @@ func (s *Sim) advanceLocked() {
 			s.flushBatchLocked()
 		}
 		s.batchWhen = s.now
-		s.batchCount++
-		s.timersFired++
-		if s.stats.TimerLead != nil {
-			s.stats.TimerLead.Record(int64(entry.when - entry.born))
+		if entry.passive {
+			s.dispatchPassiveLocked(entry)
+			return
 		}
-		entry.fn()
+		s.fireLocked(entry)
 	}
+}
+
+// fireLocked dispatches one timer inline under the kernel lock.
+func (s *Sim) fireLocked(entry *timerEntry) {
+	entry.fired = true
+	s.liveTimers--
+	s.batchCount++
+	s.timersFired.Add(1)
+	if s.stats.TimerLead != nil {
+		s.stats.TimerLead.Record(int64(entry.when - entry.born))
+	}
+	entry.fn()
+}
+
+// dispatchPassiveLocked collects first plus every consecutive same-instant
+// passive timer (up to maxPassiveBatch) and hands the batch to the worker
+// pool. The batch counts as one runnable unit until the last callback
+// completes, so the clock cannot move past it. Must be called with s.mu
+// held.
+func (s *Sim) dispatchPassiveLocked(first *timerEntry) {
+	batch := s.passiveBuf[:0]
+	mark := func(e *timerEntry) {
+		e.fired = true
+		s.liveTimers--
+		s.batchCount++
+		s.timersFired.Add(1)
+		if s.stats.TimerLead != nil {
+			s.stats.TimerLead.Record(int64(e.when - e.born))
+		}
+		batch = append(batch, e)
+	}
+	mark(first)
+	for len(batch) < maxPassiveBatch {
+		next := s.timers.peek()
+		if next == nil || next.when != s.now {
+			break
+		}
+		if next.cancelled {
+			s.timers.pop()
+			continue
+		}
+		if !next.passive {
+			break
+		}
+		s.timers.pop()
+		mark(next)
+	}
+	s.passiveBuf = batch
+	s.runnable++
+	// The batch holds the run token while in flight: processes its
+	// callbacks wake queue behind it and start, in FIFO order, only after
+	// batchFinished — otherwise a woken process would race the remaining
+	// callbacks.
+	s.running = true
+	s.pool.dispatch(batch)
+}
+
+// batchFinished is called by the worker pool when the last callback of a
+// passive batch has returned.
+func (s *Sim) batchFinished() {
+	s.mu.Lock()
+	s.runnable--
+	s.yieldLocked()
+	if s.runnable == 0 && !s.completed {
+		s.advanceLocked()
+	}
+	s.mu.Unlock()
 }
 
 // flushBatchLocked records and resets the open dispatch batch. Must be
@@ -388,14 +652,10 @@ func (s *Sim) flushBatchLocked() {
 
 func (s *Sim) reportDeadlockLocked() {
 	s.flushBatchLocked()
-	infos := make([]*waitInfo, 0, len(s.waiting))
-	for _, w := range s.waiting {
-		infos = append(infos, w)
-	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].id < infos[j].id })
+	infos := s.waits.snapshot()
 	blocked := make([]string, len(infos))
 	for i, w := range infos {
-		blocked[i] = fmt.Sprintf("%s %s (since t=%v)", w.kind, w.detail, w.since)
+		blocked[i] = w.describe()
 	}
 	s.deadlock = &DeadlockError{Now: s.now, Blocked: blocked}
 	s.completed = true
@@ -408,49 +668,25 @@ func parkForever() {
 	select {}
 }
 
-// --- timer heap ---
+// --- timer entries ---
 
 type timerEntry struct {
 	when      time.Duration
 	born      time.Duration // clock value when the timer was scheduled
 	seq       uint64
-	fn        func() // runs under s.mu
+	fn        func() // under s.mu unless passive; on a pool worker if passive
+	passive   bool
 	cancelled bool
 	fired     bool
-	index     int
+	index     int // heap engine bookkeeping
 }
 
-func (s *Sim) pushTimerLocked(when time.Duration, fn func()) *timerEntry {
-	s.seq++
-	entry := &timerEntry{when: when, born: s.now, seq: s.seq, fn: fn}
-	heap.Push(&s.timers, entry)
-	return entry
-}
-
-type timerHeap []*timerEntry
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *timerHeap) Push(x any) {
-	entry := x.(*timerEntry)
-	entry.index = len(*h)
-	*h = append(*h, entry)
-}
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	entry := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return entry
+// timerQueue is the kernel's timer store. Both engines return entries in
+// exact (when, seq) order, including cancelled entries (the kernel skips
+// those lazily). len counts every stored entry, cancelled included.
+type timerQueue interface {
+	push(e *timerEntry)
+	pop() *timerEntry
+	peek() *timerEntry
+	len() int
 }

@@ -75,7 +75,7 @@ func (wg *WaitGroup) wait(d time.Duration) bool {
 		return false
 	}
 	w := &wgWaiter{park: make(chan struct{}, 1)}
-	w.wid = s.addWaitLocked("waitgroup", "wait")
+	w.wid = s.addWaitLocked(waitWaitGroup, "", 0)
 	if d > 0 {
 		w.timer = s.pushTimerLocked(s.now+d, func() {
 			if w.state != wsWaiting {
@@ -99,7 +99,7 @@ func (wg *WaitGroup) releaseLocked() {
 		}
 		w.state = wsDelivered
 		if w.timer != nil {
-			w.timer.cancelled = true
+			wg.s.cancelTimerLocked(w.timer)
 		}
 		wg.s.wakeLocked(w.wid, w.park)
 	}
@@ -135,7 +135,7 @@ func (e *Event) Set() {
 		}
 		w.state = wsDelivered
 		if w.timer != nil {
-			w.timer.cancelled = true
+			s.cancelTimerLocked(w.timer)
 		}
 		s.wakeLocked(w.wid, w.park)
 	}
@@ -177,7 +177,7 @@ func (e *Event) wait(d time.Duration) bool {
 		return false
 	}
 	w := &wgWaiter{park: make(chan struct{}, 1)}
-	w.wid = s.addWaitLocked("event", e.name)
+	w.wid = s.addWaitLocked(waitEvent, e.name, 0)
 	if d > 0 {
 		w.timer = s.pushTimerLocked(s.now+d, func() {
 			if w.state != wsWaiting {

@@ -159,10 +159,20 @@ func RegisterExecutable(m *lrm.Machine, name string) {
 // executable must have been installed with RegisterExecutable. Submissions
 // happen at each job's arrival time; jobs queue under the machine's
 // scheduler like any other work.
+//
+// Batch-mode submission never blocks on kernel primitives, so those
+// arrivals ride the kernel's passive dispatch pool rather than paying one
+// goroutine per arrival — at 10⁶ arrivals that is the difference between a
+// bounded worker set and a million short-lived goroutines. Fork-mode
+// Submit sleeps for the fork cost and keeps the goroutine-per-timer path.
 func Drive(sim *vtime.Sim, m *lrm.Machine, executable string, jobs []Job) {
+	after := sim.AfterFunc
+	if m.Mode() == lrm.Batch {
+		after = sim.AfterFuncPassive
+	}
 	for _, job := range jobs {
 		job := job
-		sim.AfterFunc(job.At, func() {
+		after(job.At, func() {
 			m.Submit(lrm.JobSpec{
 				Executable: executable,
 				Count:      job.Size,

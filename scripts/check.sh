@@ -53,6 +53,26 @@ go run ./cmd/benchgrid -fig none -app wire -smoke >/dev/null
 echo "== slo smoke (zero false positives + bounded detection lag gate)"
 go run ./cmd/benchgrid -fig none -app slo -smoke >/dev/null
 
+echo "== scale smoke (heap-vs-wheel dual-engine differential gate)"
+go run ./cmd/benchgrid -fig none -app scale -smoke >/dev/null
+
+# Enforced per-package coverage floor for the kernel and the LRM — the
+# two packages the million-scale fast paths live in. Unlike the
+# report-only total below, a drop here fails the gate: an untested wheel
+# level or backfill branch is exactly where a scale regression hides.
+kernel_floor=70
+echo "== kernel coverage gate (floor: ${kernel_floor}% for internal/vtime, internal/lrm)"
+for pkg in ./internal/vtime ./internal/lrm; do
+    go test $short -coverprofile=.cover.pkg.out "$pkg" >/dev/null
+    pct=$(go tool cover -func=.cover.pkg.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    rm -f .cover.pkg.out
+    echo "$pkg statement coverage: ${pct}%"
+    if [ "$(printf '%s\n' "$pct" "$kernel_floor" | sort -g | head -1)" != "$kernel_floor" ]; then
+        echo "FAIL: $pkg coverage ${pct}% is below the enforced ${kernel_floor}% floor" >&2
+        exit 1
+    fi
+done
+
 if [ "${QUICK:-0}" != "1" ]; then
     # Perf observatory: validate the snapshot shape (>= 8 series, 0
     # allocs/op on the histogram hot path) and compare a short measuring
